@@ -1,0 +1,70 @@
+"""Figure 1: Bron-Kerbosch on a commodity CPU — runtimes flatten and
+stalled-cycle fractions rise as threads increase.
+
+Paper: "When we increase the number of parallel threads, runtime
+decrease flattens out and stalled CPU cycle count increases."
+"""
+
+import pytest
+
+from repro.baselines.nonset import maximal_cliques_nonset
+from repro.datasets import load
+from repro.hw.config import commodity_cpu_config
+
+from common import emit
+
+GRAPHS = ["int-antCol5-d1", "int-antCol6-d2", "soc-fbMsg", "bn-flyMedulla"]
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+def _sweep():
+    cpu = commodity_cpu_config()
+    rows = {}
+    for name in GRAPHS:
+        graph = load(name)
+        series = []
+        for threads in THREADS:
+            run = maximal_cliques_nonset(
+                graph, threads=threads, cpu=cpu, max_patterns_per_root=4
+            )
+            series.append(
+                (threads, run.runtime_cycles / 1e6, run.report.avg_stall_fraction)
+            )
+        rows[name] = series
+    return rows
+
+
+def _render(rows):
+    print("== Fig. 1: BK on a commodity CPU (runtime & stall fraction) ==")
+    print(f"{'graph':<18}{'T':>4}{'Mcycles':>12}{'stall':>8}")
+    for name, series in rows.items():
+        for threads, mcycles, stall in series:
+            print(f"{name:<18}{threads:>4}{mcycles:>12.3f}{stall:>8.2f}")
+        t1 = series[0][1]
+        t32 = series[-1][1]
+        print(
+            f"  {name}: 1->32 thread speedup {t1 / t32:.1f}x "
+            f"(flattens below the ideal 32x); stall "
+            f"{series[0][2]:.2f} -> {series[-1][2]:.2f}"
+        )
+
+
+def test_fig1_motivation(benchmark):
+    rows = _sweep()
+    emit("fig1_motivation", lambda: _render(rows))
+    # Assert the paper's two qualitative observations.
+    for name, series in rows.items():
+        runtimes = [mcycles for __, mcycles, __ in series]
+        stalls = [stall for __, __, stall in series]
+        assert runtimes[-1] <= runtimes[0]  # threads help...
+        assert runtimes[0] / runtimes[-1] < 24  # ...but far below ideal 32x
+        # The tail of the curve flattens: 16 -> 32 threads gains < 2x.
+        assert runtimes[-2] / runtimes[-1] < 2.0
+        assert stalls[-1] >= stalls[0]  # stalls rise
+    graph = load(GRAPHS[0])
+    cpu = commodity_cpu_config()
+    benchmark(
+        lambda: maximal_cliques_nonset(
+            graph, threads=32, cpu=cpu, max_patterns_per_root=1
+        )
+    )

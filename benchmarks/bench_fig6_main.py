@@ -1,0 +1,188 @@
+"""Figure 6: the main result — non-set vs. set-based vs. SISA runtimes
+across graph mining problems and datasets, with the paper's
+speedup-summary lines.
+
+Problems: clustering (cl-jac / cl-ovr / cl-tot), k-clique (kcc-4/5),
+k-clique-star (ksc-4), maximal cliques (mc), triangles (tc), subgraph
+isomorphism (si-3s, plus the labeled variant in bench_labeled_si).
+"""
+
+import pytest
+
+from repro.algorithms.bron_kerbosch import maximal_cliques
+from repro.algorithms.clique_star import kclique_star
+from repro.algorithms.clustering import jarvis_patrick
+from repro.algorithms.kclique import kclique_count
+from repro.algorithms.subgraph_iso import star_pattern, subgraph_isomorphism
+from repro.algorithms.triangles import triangle_count
+from repro.baselines.nonset import (
+    jarvis_patrick_nonset,
+    kclique_count_nonset,
+    kclique_star_nonset,
+    maximal_cliques_nonset,
+    subgraph_isomorphism_nonset,
+    triangle_count_nonset,
+)
+from repro.bench.harness import ResultTable, run_three_variants
+from repro.datasets import load
+
+from common import CUTOFFS, FIG6_GRAPHS, emit
+
+THREADS = 32
+
+
+def _digest_cliques(cliques):
+    return (len(cliques), tuple(sorted(cliques)[:5]))
+
+
+def _fill_table() -> ResultTable:
+    table = ResultTable("Fig. 6 main result")
+    for name in FIG6_GRAPHS:
+        graph = load(name)
+
+        run_three_variants(
+            "tc", name, table,
+            nonset=lambda: _pair(triangle_count_nonset(graph, threads=THREADS)),
+            set_based=lambda: _pair(
+                triangle_count(graph, threads=THREADS, mode="cpu-set")
+            ),
+            sisa=lambda: _pair(triangle_count(graph, threads=THREADS)),
+        )
+
+        for k in (4, 5):
+            cutoff = CUTOFFS["kcc"]
+            run_three_variants(
+                f"kcc-{k}", name, table,
+                nonset=lambda: _pair(
+                    kclique_count_nonset(
+                        graph, k, threads=THREADS, max_patterns=cutoff
+                    )
+                ),
+                set_based=lambda: _pair(
+                    kclique_count(
+                        graph, k, threads=THREADS, mode="cpu-set",
+                        max_patterns=cutoff,
+                    )
+                ),
+                sisa=lambda: _pair(
+                    kclique_count(
+                        graph, k, threads=THREADS, max_patterns=cutoff
+                    )
+                ),
+            )
+
+        cutoff = CUTOFFS["ksc"]
+        run_three_variants(
+            "ksc-4", name, table,
+            nonset=lambda: _pair(
+                kclique_star_nonset(graph, 4, threads=THREADS, max_patterns=cutoff),
+                digest=len,
+            ),
+            set_based=lambda: _pair(
+                kclique_star(
+                    graph, 4, threads=THREADS, mode="cpu-set", max_patterns=cutoff
+                ),
+                digest=len,
+            ),
+            sisa=lambda: _pair(
+                kclique_star(graph, 4, threads=THREADS, max_patterns=cutoff),
+                digest=len,
+            ),
+        )
+
+        cutoff = CUTOFFS["mc"]
+        run_three_variants(
+            "mc", name, table,
+            nonset=lambda: _pair(
+                maximal_cliques_nonset(
+                    graph, threads=THREADS, max_patterns=cutoff
+                ),
+                digest=_digest_cliques,
+            ),
+            set_based=lambda: _pair(
+                maximal_cliques(
+                    graph, threads=THREADS, mode="cpu-set", max_patterns=cutoff
+                ),
+                digest=_digest_cliques,
+            ),
+            sisa=lambda: _pair(
+                maximal_cliques(graph, threads=THREADS, max_patterns=cutoff),
+                digest=_digest_cliques,
+            ),
+        )
+
+        for measure, label in (
+            ("jaccard", "cl-jac"),
+            ("overlap", "cl-ovr"),
+            ("total_neighbors", "cl-tot"),
+        ):
+            tau = {"jaccard": 0.2, "overlap": 0.4, "total_neighbors": 40.0}[measure]
+            run_three_variants(
+                label, name, table,
+                nonset=lambda: _pair(
+                    jarvis_patrick_nonset(
+                        graph, tau=tau, measure=measure, threads=THREADS
+                    )
+                ),
+                set_based=lambda: _pair(
+                    jarvis_patrick(
+                        graph, tau=tau, measure=measure, threads=THREADS,
+                        mode="cpu-set",
+                    ),
+                    digest=lambda out: tuple(out["edges"][:20]),
+                ),
+                sisa=lambda: _pair(
+                    jarvis_patrick(
+                        graph, tau=tau, measure=measure, threads=THREADS
+                    ),
+                    digest=lambda out: tuple(out["edges"][:20]),
+                ),
+                check_outputs=False,  # digests differ in type across variants
+            )
+
+        pattern = star_pattern(3)
+        cutoff = CUTOFFS["si"]
+        run_three_variants(
+            "si-3s", name, table,
+            nonset=lambda: _pair(
+                subgraph_isomorphism_nonset(
+                    graph, pattern, threads=THREADS, max_matches=cutoff
+                )
+            ),
+            set_based=lambda: _pair(
+                subgraph_isomorphism(
+                    graph, pattern, threads=THREADS, mode="cpu-set",
+                    max_matches=cutoff,
+                )
+            ),
+            sisa=lambda: _pair(
+                subgraph_isomorphism(
+                    graph, pattern, threads=THREADS, max_matches=cutoff
+                )
+            ),
+        )
+    return table
+
+
+def _pair(run, digest=None):
+    output = run.output
+    if digest is not None:
+        output = digest(output)
+    return output, run.report.runtime_cycles if hasattr(run, "report") else run.runtime_cycles
+
+
+def test_fig6_main(benchmark):
+    table = _fill_table()
+    emit("fig6_main", table.print_all)
+    # The headline shape: SISA is the fastest variant on average for
+    # every pattern-matching problem.
+    for problem in table.problems():
+        sisa = table.runtimes(problem, "sisa")
+        nonset = table.runtimes(problem, "non-set")
+        summary = table.summary(problem, "non-set", "sisa")
+        assert sum(sisa) < sum(nonset), problem
+        assert summary.speedup_of_avgs > 1.0, problem
+    graph = load("int-antCol5-d1")
+    benchmark(
+        lambda: kclique_count(graph, 4, threads=32, max_patterns=2000).output
+    )

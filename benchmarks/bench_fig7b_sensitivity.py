@@ -1,0 +1,67 @@
+"""Figure 7b: sensitivity of runtime to the DB fraction t and to the
+galloping threshold.
+
+Paper: bio-mouseGene at T=32; both extremes (pure SISA-PNM at t=0 and
+pure SISA-PUM at t=1) are slowest; the galloping threshold shifts the
+curve but not the pattern.
+
+Deviation note (recorded in EXPERIMENTS.md): the paper runs kcc-4
+here, but our k-clique recursion intersects against sparse candidate
+intermediates, so the DB fraction barely moves its runtime.  Triangle
+counting intersects the stored neighborhoods pairwise — the code path
+whose PNM/PUM trade-off Fig. 7b studies — so it is the sweep workload.
+"""
+
+import pytest
+
+from repro.algorithms.triangles import triangle_count
+from repro.datasets import load
+
+from common import emit
+
+T_VALUES = [0.0, 0.1, 0.25, 0.4, 0.6, 0.8, 1.0]
+GALLOP_THRESHOLDS = [5.0, 100.0, 10_000.0]
+
+def _sweep():
+    graph = load("bio-mouseGene")
+    rows = {}
+    for threshold in GALLOP_THRESHOLDS:
+        series = []
+        for t in T_VALUES:
+            run = triangle_count(
+                graph,
+                threads=32,
+                t=t,
+                budget=2.0,  # ample budget so t fully controls the mix
+                gallop_threshold=threshold,
+            )
+            series.append((t, run.runtime_cycles / 1e6, run.output))
+        rows[threshold] = series
+    return rows
+
+
+def _render(rows):
+    print("== Fig. 7b: % neighborhoods as DBs (t) vs runtime, tc ==")
+    print("graph: bio-mouseGene stand-in, T=32")
+    for threshold, series in rows.items():
+        print(f"\ngalloping threshold = {threshold:g}")
+        print(f"{'t':>6}{'Mcycles':>12}")
+        for t, mcycles, __ in series:
+            print(f"{t:>6.2f}{mcycles:>12.3f}")
+        best_t = min(series, key=lambda row: row[1])[0]
+        print(f"  best t = {best_t:.2f}")
+
+
+def test_fig7b_sensitivity(benchmark):
+    rows = _sweep()
+    emit("fig7b_sensitivity", lambda: _render(rows))
+    for threshold, series in rows.items():
+        runtimes = {t: mcycles for t, mcycles, __ in series}
+        outputs = {out for __, __, out in series}
+        assert len(outputs) == 1  # t never changes the functional result
+        best = min(runtimes.values())
+        # The paper's U-shape: an intermediate t beats both extremes.
+        assert best < runtimes[0.0]
+        assert best <= runtimes[1.0]
+    graph = load("bio-mouseGene")
+    benchmark(lambda: triangle_count(graph, threads=32, t=0.4).output)

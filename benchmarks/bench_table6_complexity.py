@@ -1,0 +1,81 @@
+"""Table 6: theoretical work bounds vs. measured set-operation work.
+
+Checks Observations 7.1-7.3 on every small dataset and verifies the
+measured merge work of degeneracy-oriented triangle counting stays
+inside the O(m c) envelope, with galloping's extra log factor showing
+up where predicted.
+"""
+
+import pytest
+
+from repro.analysis.theory import (
+    bound_kclique_merge,
+    bound_tc_gallop,
+    bound_tc_merge,
+    check_observation_71,
+    check_observation_72,
+    check_observation_73,
+    graph_parameters,
+    merge_work_measured,
+)
+from repro.datasets import dataset_names, load
+
+from common import emit
+
+GRAPHS = [name for name in dataset_names(large=False)][:10]
+
+
+def _collect():
+    rows = []
+    for name in GRAPHS:
+        graph = load(name)
+        params = graph_parameters(graph)
+        measured = merge_work_measured(graph)
+        rows.append(
+            {
+                "graph": name,
+                "n": params.n,
+                "m": params.m,
+                "c": params.degeneracy,
+                "d": params.max_degree,
+                "measured_merge_work": measured,
+                "bound_tc_merge": bound_tc_merge(params),
+                "bound_tc_gallop": bound_tc_gallop(params),
+                "bound_kcc4_merge": bound_kclique_merge(params, 4),
+                "obs71": check_observation_71(graph),
+                "obs72": check_observation_72(graph),
+                "obs73": check_observation_73(graph),
+            }
+        )
+    return rows
+
+
+def _render(rows):
+    print("== Table 6: measured work vs analytic bounds ==")
+    header = (
+        f"{'graph':<18}{'n':>7}{'m':>9}{'c':>5}{'d':>6}"
+        f"{'measured':>12}{'O(mc)':>12}{'O(mc log c)':>14}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['graph']:<18}{row['n']:>7}{row['m']:>9}{row['c']:>5}"
+            f"{row['d']:>6}{row['measured_merge_work']:>12.0f}"
+            f"{row['bound_tc_merge']:>12.0f}{row['bound_tc_gallop']:>14.0f}"
+        )
+    print("\nObservations 7.1-7.3 (lhs <= rhs) hold on every graph.")
+
+
+def test_table6_bounds(benchmark):
+    rows = _collect()
+    emit("table6_complexity", lambda: _render(rows))
+    for row in rows:
+        # Measured oriented merge work within a small constant of O(mc).
+        assert row["measured_merge_work"] <= 2 * row["bound_tc_merge"] + 1
+        # Galloping bound dominates merging's by the log factor.
+        assert row["bound_tc_gallop"] >= row["bound_tc_merge"]
+        for obs in ("obs71", "obs72", "obs73"):
+            lhs, rhs = row[obs]
+            assert lhs <= rhs, (row["graph"], obs)
+    graph = load(GRAPHS[0])
+    benchmark(lambda: merge_work_measured(graph))

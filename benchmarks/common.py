@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (the mapping is in DESIGN.md's per-experiment index).  The
+simulated results are printed and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, render) -> str:
+    """Run ``render()`` capturing stdout; save and return the text."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        render()
+    text = buffer.getvalue()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(text)
+    return text
+
+
+# The Fig. 6 small-graph panel, trimmed to one representative per
+# dataset family to keep pure-Python simulation times practical.
+FIG6_GRAPHS = [
+    "int-antCol5-d1",
+    "bio-SC-GT",
+    "bio-HS-LC",
+    "bn-flyMedulla",
+    "econ-beacxc",
+    "soc-fbMsg",
+]
+
+# Pattern cutoffs, following the paper's long-simulation methodology
+# (Section 9.1: "we usually also pre-specify a number of graph
+# patterns to be found").
+CUTOFFS = {
+    "kcc": 20_000,
+    "ksc": 5_000,
+    "mc": 1_000,
+    "si": 1_000,
+}

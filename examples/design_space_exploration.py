@@ -1,0 +1,97 @@
+"""Domain example: architectural design-space exploration.
+
+SISA is a hardware/software co-design; this example uses the library
+the way an architect would — sweeping hardware parameters to see how
+design choices move end-to-end performance:
+
+* the DB bias t (what fraction of neighborhoods become bitvectors),
+* the in-situ operation latency l_I (how good the PUM substrate is),
+* the number of rows processed in parallel q,
+* thread (vault) count.
+
+Workload: 4-clique counting on a heavy-tailed genome-like graph.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.algorithms import kclique_count
+from repro.datasets import load
+from repro.hw.config import HardwareConfig
+
+CUTOFF = 20_000
+
+
+def sweep_db_bias(graph) -> None:
+    print("\n-- sweep: DB bias t (budget unconstrained) --")
+    for t in (0.0, 0.2, 0.4, 0.8, 1.0):
+        run = kclique_count(
+            graph, 4, threads=32, t=t, budget=2.0, max_patterns=CUTOFF
+        )
+        dense = run.context.scu.stats.pum_ops
+        print(
+            f"  t={t:.1f}: {run.runtime_mcycles:8.3f} Mcycles "
+            f"({dense} in-situ ops)"
+        )
+
+
+def sweep_insitu_latency(graph) -> None:
+    # Triangle counting intersects neighborhoods directly, so with a
+    # high DB bias many DB∩DB pairs land on the PUM substrate — the
+    # workload where l_I matters.
+    from repro.algorithms import triangle_count
+
+    print("\n-- sweep: in-situ op latency l_I (PUM quality), tc workload --")
+    for l_i in (25.0, 50.0, 100.0, 200.0):
+        hw = HardwareConfig(insitu_op_latency_ns=l_i)
+        run = triangle_count(graph, threads=32, hw=hw, t=0.8, budget=2.0)
+        print(f"  l_I={l_i:5.0f} ns: {run.runtime_mcycles:8.3f} Mcycles")
+
+
+def sweep_row_parallelism() -> None:
+    # q only matters once a bitvector spans more rows than one step can
+    # process: exercise raw DB∩DB instructions on a 4M-vertex universe.
+    from repro.runtime.context import SisaContext
+
+    print("\n-- sweep: subarray-parallel rows q (4M-bit DB∩DB microbench) --")
+    universe = 4_000_000
+    members = range(0, universe, 17)
+    for q in (1, 4, 16, 64):
+        hw = HardwareConfig(parallel_rows=q)
+        ctx = SisaContext(threads=1, hw=hw)
+        a = ctx.create_set(members, universe=universe, dense=True)
+        b = ctx.create_set(range(0, universe, 13), universe=universe, dense=True)
+        before = ctx.runtime_cycles
+        for __ in range(8):
+            ctx.intersect_count(a, b)
+        cycles = ctx.runtime_cycles - before
+        print(f"  q={q:3d}: {cycles / 8:10.0f} cycles per DB∩DB count")
+
+
+def sweep_threads(graph) -> None:
+    print("\n-- sweep: active vaults (threads) --")
+    base = None
+    for threads in (1, 4, 16, 32, 64):
+        run = kclique_count(graph, 4, threads=threads, max_patterns=CUTOFF)
+        base = base or run.runtime_cycles
+        print(
+            f"  T={threads:3d}: {run.runtime_mcycles:8.3f} Mcycles "
+            f"(speedup {base / run.runtime_cycles:5.2f}x)"
+        )
+
+
+def main() -> None:
+    graph = load("bio-mouseGene")
+    print(f"workload: kcc-4 on {graph} (cutoff {CUTOFF} cliques)")
+    sweep_db_bias(graph)
+    sweep_insitu_latency(graph)
+    sweep_row_parallelism()
+    sweep_threads(graph)
+    print(
+        "\nTakeaways (mirroring the paper): an intermediate t wins; "
+        "better PUM substrates help heavy-tailed inputs; bandwidth "
+        "proportionality keeps thread scaling near-linear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Domain example: mining dense protein-complex candidates.
+
+The paper motivates maximal clique listing with bioinformatics
+("analyzing protein structures"): dense subgraphs of a protein-protein
+interaction network are complex candidates.  This example
+
+1. builds a heavy-tailed interaction network with planted complexes,
+2. finds the k-core to focus on the dense region,
+3. lists maximal cliques inside the core with Bron-Kerbosch,
+4. ranks complexes by size and internal Jaccard cohesion,
+5. reports how the SISA machine executed the workload.
+
+Run:  python examples/protein_clique_mining.py
+"""
+
+from repro.algorithms import make_context, maximal_cliques, similarity_on
+from repro.graphs.generators import planted_clique_graph
+from repro.graphs.orientation import k_core
+from repro.runtime.setgraph import SetGraph
+
+
+def main() -> None:
+    # A synthetic interactome: 900 proteins, ~9000 interactions, six
+    # planted complexes of 14 proteins each.
+    network = planted_clique_graph(
+        900, 9_000, num_cliques=6, clique_size=14, gamma=2.0, seed=42
+    )
+    print(f"interaction network: {network}")
+
+    # Focus on the dense region: the 8-core.
+    core_vertices = k_core(network, 8)
+    core = network.subgraph(core_vertices)
+    print(f"8-core: {core.num_vertices} proteins, {core.num_edges} interactions")
+
+    # Mine maximal cliques in the core.
+    run = maximal_cliques(core, threads=32, max_patterns=5_000)
+    complexes = [c for c in run.output if len(c) >= 6]
+    complexes.sort(key=len, reverse=True)
+    print(
+        f"\ncomplex candidates (maximal cliques >= 6 proteins): "
+        f"{len(complexes)}"
+    )
+    print(f"simulated mining time: {run.runtime_mcycles:.3f} Mcycles")
+
+    # Score the top candidates by average pairwise neighborhood
+    # Jaccard similarity (cohesion of the complex's context).
+    ctx = make_context(threads=8, mode="sisa")
+    sg = SetGraph.from_graph(core, ctx)
+    print("\ntop candidates (size, cohesion):")
+    for clique in complexes[:5]:
+        members = list(clique)
+        pairs = [
+            (members[i], members[j])
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        ]
+        cohesion = sum(
+            similarity_on(ctx, sg, u, v, measure="jaccard") for u, v in pairs
+        ) / len(pairs)
+        print(f"  size {len(clique):>2}  cohesion {cohesion:.3f}  {clique[:8]}...")
+
+    stats = run.context.scu.stats
+    print(
+        f"\nSISA execution: {stats.instructions} set instructions "
+        f"({stats.pum_ops} in-situ, {stats.pnm_ops} near-memory; "
+        f"merge/gallop picks {stats.merge_picks}/{stats.gallop_picks})"
+    )
+
+
+if __name__ == "__main__":
+    main()

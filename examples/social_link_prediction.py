@@ -1,0 +1,51 @@
+"""Domain example: link prediction on a social network.
+
+The paper's graph-learning track (Section 5.2): score non-adjacent
+vertex pairs with neighborhood similarity measures, predict the
+top-scoring pairs, and test prediction accuracy with the set-centric
+Algorithm 10 (eff = |E_predict ∩ E_rndm|).
+
+This example compares four similarity measures on the same sparsified
+social network and reports each measure's precision and simulated cost.
+
+Run:  python examples/social_link_prediction.py
+"""
+
+from repro.algorithms import link_prediction_effectiveness
+from repro.datasets import load
+
+MEASURES = ["jaccard", "overlap", "common_neighbors", "adamic_adar"]
+
+
+def main() -> None:
+    graph = load("soc-fbMsg")
+    print(f"social network: {graph}")
+    print(
+        "\nprotocol: remove 10% of edges at random, score 2-hop candidate"
+        "\npairs on the sparsified graph, predict the top pairs, and check"
+        "\nhow many removed edges were recovered (Algorithm 10).\n"
+    )
+    print(f"{'measure':<20}{'recovered':>10}{'removed':>9}{'precision':>11}{'Mcycles':>10}")
+    for measure in MEASURES:
+        run = link_prediction_effectiveness(
+            graph,
+            removal_fraction=0.10,
+            measure=measure,
+            threads=32,
+            seed=17,
+        )
+        result = run.output
+        print(
+            f"{measure:<20}{result.effectiveness:>10}"
+            f"{result.removed_edges:>9}{result.precision:>11.3f}"
+            f"{run.runtime_mcycles:>10.3f}"
+        )
+    print(
+        "\nAll four measures run on the same SISA kernels "
+        "(|A ∩ B| / |A ∪ B| count instructions); only the host-side "
+        "arithmetic differs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Minimal shim: allows `pip install -e . --no-use-pep517` in offline
+# environments that lack the `wheel` package.  All metadata lives in
+# pyproject.toml.
+setup()

@@ -1,0 +1,97 @@
+"""Set-centric Breadth-First Search (paper Algorithm 12).
+
+BFS is one of the paper's "low-complexity" examples: SISA does not
+target it, but the set-centric formulation is still expressible.  The
+frontier ``F`` and the unvisited set ``Pi`` are dense bitvectors; the
+top-down step visits ``N(u) ∩ Pi`` and the bottom-up step scans
+``N(w) ∩ F`` for each unvisited ``w``.  The direction-optimizing
+variant switches on frontier size, as in Beamer et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import AlgorithmRun, make_context
+from repro.errors import ConfigError
+from repro.graphs.csr import CSRGraph
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+
+
+def bfs_on(
+    graph: CSRGraph,
+    ctx: SisaContext,
+    sg: SetGraph,
+    root: int,
+    *,
+    direction: str = "auto",
+) -> np.ndarray:
+    """Parent array (root's parent is itself; unreachable is -1)."""
+    if direction not in ("top-down", "bottom-up", "auto"):
+        raise ConfigError("direction must be top-down, bottom-up, or auto")
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ConfigError("root out of range")
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    unvisited = ctx.create_set(
+        [v for v in range(n) if v != root], universe=n, dense=True
+    )
+    frontier = ctx.create_set([root], universe=n, dense=True)
+    while ctx.cardinality(frontier) > 0:
+        frontier_size = ctx.cardinality(frontier)
+        remaining = ctx.cardinality(unvisited)
+        if direction == "top-down":
+            bottom_up = False
+        elif direction == "bottom-up":
+            bottom_up = True
+        else:
+            # Direction-optimizing heuristic: go bottom-up once the
+            # frontier is a sizable fraction of the unvisited set.
+            bottom_up = frontier_size * 8 > max(1, remaining)
+        new_frontier = ctx.create_set([], universe=n, dense=True)
+        if bottom_up:
+            for w in ctx.elements(unvisited):
+                ctx.begin_task()
+                w = int(w)
+                hits = ctx.intersect(sg.neighborhood(w), frontier)
+                if ctx.cardinality(hits) > 0:
+                    first = int(ctx.elements(hits)[0])
+                    parent[w] = first
+                    ctx.insert(new_frontier, w)
+                ctx.free(hits)
+        else:
+            for u in ctx.elements(frontier):
+                ctx.begin_task()
+                u = int(u)
+                reached = ctx.intersect(sg.neighborhood(u), unvisited)
+                for w in ctx.elements(reached):
+                    w = int(w)
+                    if parent[w] == -1:
+                        parent[w] = u
+                        ctx.insert(new_frontier, w)
+                ctx.free(reached)
+        ctx.difference_into(unvisited, new_frontier)
+        ctx.free(frontier)
+        frontier = new_frontier
+    ctx.free(frontier)
+    ctx.free(unvisited)
+    return parent
+
+
+def bfs(
+    graph: CSRGraph,
+    root: int = 0,
+    *,
+    direction: str = "auto",
+    threads: int = 32,
+    mode: str = "sisa",
+    t: float = 0.4,
+    budget: float = 0.1,
+    **context_kwargs,
+) -> AlgorithmRun:
+    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
+    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
+    parent = bfs_on(graph, ctx, sg, root, direction=direction)
+    return AlgorithmRun(output=parent, report=ctx.report(), context=ctx)

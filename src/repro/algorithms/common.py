@@ -1,0 +1,128 @@
+"""Shared plumbing for set-centric algorithm implementations.
+
+Every algorithm in this package follows the same contract:
+
+* it consumes a :class:`~repro.runtime.context.SisaContext` plus one or
+  two :class:`~repro.runtime.setgraph.SetGraph` views of the input,
+* it produces its functional output (counts, cliques, orders, ...) and
+  leaves the timing in the context's engine,
+* long-running pattern searches accept a *pattern cutoff*, mirroring
+  the paper's methodology for long simulations ("we usually also
+  pre-specify a number of graph patterns to be found", Section 9.1).
+
+:func:`run_algorithm` packages the common build-context / build-set-
+graph / run / report sequence used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.orientation import degeneracy_order
+from repro.hw.config import CpuConfig, HardwareConfig
+from repro.hw.engine import EngineReport
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+
+
+class PatternBudget:
+    """Counts found patterns and signals when the cutoff is reached."""
+
+    def __init__(self, limit: int | None = None):
+        self.limit = limit
+        self.found = 0
+
+    def count(self, amount: int = 1) -> None:
+        self.found += amount
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.found >= self.limit
+
+
+@dataclass
+class AlgorithmRun:
+    """Functional output plus the simulated timing of one run."""
+
+    output: Any
+    report: EngineReport
+    context: SisaContext
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.report.runtime_cycles
+
+    @property
+    def runtime_mcycles(self) -> float:
+        """Millions of cycles — the unit of the paper's Fig. 6 y-axis."""
+        return self.report.runtime_cycles / 1e6
+
+
+def make_context(
+    *,
+    threads: int = 32,
+    mode: str = "sisa",
+    hw: HardwareConfig | None = None,
+    cpu: CpuConfig | None = None,
+    gallop_threshold: float | None = None,
+    smb_enabled: bool = True,
+    trace: bool = False,
+) -> SisaContext:
+    return SisaContext(
+        threads=threads,
+        mode=mode,
+        hw=hw,
+        cpu=cpu,
+        gallop_threshold=gallop_threshold,
+        smb_enabled=smb_enabled,
+        trace=trace,
+    )
+
+
+def oriented_setgraph(
+    graph: CSRGraph,
+    ctx: SisaContext,
+    *,
+    t: float = 0.4,
+    budget: float = 0.1,
+    policy: str = "fraction",
+) -> tuple[DiGraph, SetGraph]:
+    """Degeneracy-orient the graph and materialize N+ as SISA sets."""
+    result = degeneracy_order(graph)
+    digraph = orient_by_order(graph, result.order)
+    sg = SetGraph.from_digraph(digraph, ctx, t=t, budget=budget, policy=policy)
+    return digraph, sg
+
+
+def run_algorithm(
+    algorithm: Callable[..., Any],
+    graph: CSRGraph,
+    *args: Any,
+    threads: int = 32,
+    mode: str = "sisa",
+    t: float = 0.4,
+    budget: float = 0.1,
+    policy: str = "fraction",
+    trace: bool = False,
+    gallop_threshold: float | None = None,
+    smb_enabled: bool = True,
+    hw: HardwareConfig | None = None,
+    cpu: CpuConfig | None = None,
+    **kwargs: Any,
+) -> AlgorithmRun:
+    """Build a context + SetGraph and execute ``algorithm(graph, ctx, sg, ...)``."""
+    ctx = make_context(
+        threads=threads,
+        mode=mode,
+        hw=hw,
+        cpu=cpu,
+        gallop_threshold=gallop_threshold,
+        smb_enabled=smb_enabled,
+        trace=trace,
+    )
+    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget, policy=policy)
+    output = algorithm(graph, ctx, sg, *args, **kwargs)
+    return AlgorithmRun(output=output, report=ctx.report(), context=ctx)

@@ -1,0 +1,60 @@
+"""Triangle counting (paper Algorithm 1, set-centric node iterator).
+
+The set-centric formulation counts, for every directed edge ``(u, v)``
+of the degeneracy-oriented graph, the size of ``N+(u) ∩ N+(v)``.
+Orienting by the degeneracy order makes every triangle counted exactly
+once and bounds the merge work by ``O(m c)`` (paper Section 7.2).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.common import AlgorithmRun, make_context, oriented_setgraph
+from repro.graphs.csr import CSRGraph
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+
+
+def triangle_count_oriented(
+    digraph_sg: SetGraph, ctx: SisaContext
+) -> int:
+    """Count triangles on an already-oriented SetGraph."""
+    total = 0
+    for u in range(digraph_sg.num_vertices):
+        ctx.begin_task()
+        out_u = digraph_sg.neighborhood(u)
+        for v in ctx.elements(out_u):
+            total += ctx.intersect_count(out_u, digraph_sg.neighborhood(int(v)))
+    return total
+
+
+def triangle_count(
+    graph: CSRGraph,
+    *,
+    threads: int = 32,
+    mode: str = "sisa",
+    t: float = 0.4,
+    budget: float = 0.1,
+    **context_kwargs,
+) -> AlgorithmRun:
+    """End-to-end set-centric triangle counting."""
+    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
+    __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
+    count = triangle_count_oriented(sg, ctx)
+    return AlgorithmRun(output=count, report=ctx.report(), context=ctx)
+
+
+def clustering_coefficient(
+    graph: CSRGraph, *, threads: int = 32, mode: str = "sisa", **context_kwargs
+) -> AlgorithmRun:
+    """Global clustering coefficient: 3 * triangles / open wedges.
+
+    The paper motivates triangle counting by clustering coefficients
+    (Section 5.1.1); this derived metric exercises the same kernel.
+    """
+    run = triangle_count(graph, threads=threads, mode=mode, **context_kwargs)
+    degrees = graph.degrees.astype(float)
+    wedges = float((degrees * (degrees - 1) / 2).sum())
+    coefficient = 3.0 * run.output / wedges if wedges > 0 else 0.0
+    return AlgorithmRun(
+        output=coefficient, report=run.report, context=run.context
+    )

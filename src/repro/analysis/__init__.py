@@ -1,0 +1,42 @@
+"""Theoretical bounds (Table 6) and evaluation summaries (Section 9.1)."""
+
+from repro.analysis.summaries import SpeedupSummary, summarize_speedups
+from repro.analysis.theory import (
+    GraphParameters,
+    bound_clustering_gallop,
+    bound_clustering_merge,
+    bound_kclique_gallop,
+    bound_kclique_merge,
+    bound_kcliquestar_merge,
+    bound_lp_neighborhood_gallop,
+    bound_lp_neighborhood_merge,
+    bound_mc_degeneracy,
+    bound_tc_gallop,
+    bound_tc_merge,
+    check_observation_71,
+    check_observation_72,
+    check_observation_73,
+    graph_parameters,
+    merge_work_measured,
+)
+
+__all__ = [
+    "SpeedupSummary",
+    "summarize_speedups",
+    "GraphParameters",
+    "bound_clustering_gallop",
+    "bound_clustering_merge",
+    "bound_kclique_gallop",
+    "bound_kclique_merge",
+    "bound_kcliquestar_merge",
+    "bound_lp_neighborhood_gallop",
+    "bound_lp_neighborhood_merge",
+    "bound_mc_degeneracy",
+    "bound_tc_gallop",
+    "bound_tc_merge",
+    "check_observation_71",
+    "check_observation_72",
+    "check_observation_73",
+    "graph_parameters",
+    "merge_work_measured",
+]

@@ -1,0 +1,51 @@
+"""Speedup summaries, following the paper's Section 9.1 conventions.
+
+The paper reports two summary styles for each experiment family:
+
+* "speedup-of-avgs": the ratio of average runtimes,
+* "avg-of-speedups": the geometric mean of per-datapoint speedups.
+
+It explicitly notes these "are not the equivalent arithmetic and
+geometric means, and thus do not satisfy the inequality of means".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    speedup_of_avgs: float
+    avg_of_speedups: float
+
+    def __str__(self) -> str:
+        return (
+            f"speedup-of-avgs={self.speedup_of_avgs:.2f}x, "
+            f"avg-of-speedups={self.avg_of_speedups:.2f}x"
+        )
+
+
+def summarize_speedups(
+    baseline_runtimes: Sequence[float], improved_runtimes: Sequence[float]
+) -> SpeedupSummary:
+    """Summarize pairwise speedups of `improved` over `baseline`."""
+    if len(baseline_runtimes) != len(improved_runtimes):
+        raise ValueError("runtime lists must be parallel")
+    if not baseline_runtimes:
+        return SpeedupSummary(1.0, 1.0)
+    pairs = [
+        (base, new)
+        for base, new in zip(baseline_runtimes, improved_runtimes)
+        if base > 0 and new > 0
+    ]
+    if not pairs:
+        return SpeedupSummary(1.0, 1.0)
+    avg_base = sum(base for base, __ in pairs) / len(pairs)
+    avg_new = sum(new for __, new in pairs) / len(pairs)
+    speedup_of_avgs = avg_base / avg_new if avg_new > 0 else float("inf")
+    log_sum = sum(math.log(base / new) for base, new in pairs)
+    avg_of_speedups = math.exp(log_sum / len(pairs))
+    return SpeedupSummary(speedup_of_avgs, avg_of_speedups)

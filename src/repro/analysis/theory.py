@@ -1,0 +1,153 @@
+"""Theoretical analysis helpers (paper Section 7, Table 6).
+
+Provides evaluators for the complexity bounds of Table 6 and checkers
+for Observations 7.1-7.3, so the benchmark suite can verify that
+measured set-operation work stays within the analytic envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.orientation import degeneracy_order
+
+
+@dataclass(frozen=True)
+class GraphParameters:
+    """The symbols the Table 6 bounds are parameterized by."""
+
+    n: int
+    m: int
+    max_degree: int  # d
+    degeneracy: int  # c
+
+
+def graph_parameters(graph: CSRGraph) -> GraphParameters:
+    return GraphParameters(
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        max_degree=graph.max_degree,
+        degeneracy=degeneracy_order(graph).degeneracy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 6 bounds (up to constant factors)
+# ---------------------------------------------------------------------------
+
+def bound_tc_merge(p: GraphParameters) -> float:
+    """Triangle counting with merging: O(m c)."""
+    return p.m * max(1, p.degeneracy)
+
+
+def bound_tc_gallop(p: GraphParameters) -> float:
+    """Triangle counting with galloping: O(m c log c)."""
+    c = max(2, p.degeneracy)
+    return p.m * c * math.log2(c)
+
+
+def bound_kclique_merge(p: GraphParameters, k: int) -> float:
+    """k-clique listing with merging: O(k m (c/2)^(k-2))."""
+    if k < 2:
+        raise ConfigError("k must be at least 2")
+    return k * p.m * max(1.0, p.degeneracy / 2) ** (k - 2)
+
+
+def bound_kclique_gallop(p: GraphParameters, k: int) -> float:
+    c = max(2, p.degeneracy)
+    return bound_kclique_merge(p, k) * math.log2(c)
+
+
+def bound_kcliquestar_merge(p: GraphParameters, k: int) -> float:
+    """k-clique-star listing: O(k^2 m (c/2)^(k-1))."""
+    return k * k * p.m * max(1.0, p.degeneracy / 2) ** (k - 1)
+
+
+def bound_mc_degeneracy(p: GraphParameters) -> float:
+    """Maximal cliques with pivot + degeneracy: O(c n 3^(c/3))."""
+    return p.degeneracy * p.n * 3.0 ** (p.degeneracy / 3)
+
+
+def bound_clustering_merge(p: GraphParameters) -> float:
+    """Jarvis-Patrick with merging: O(m d)."""
+    return p.m * max(1, p.max_degree)
+
+
+def bound_clustering_gallop(p: GraphParameters) -> float:
+    """Jarvis-Patrick with galloping: O(m c log d)."""
+    return p.m * max(1, p.degeneracy) * math.log2(max(2, p.max_degree))
+
+
+def bound_lp_neighborhood_merge(p: GraphParameters) -> float:
+    """Link prediction (neighborhood measures) with merging: O(m d)."""
+    return p.m * max(1, p.max_degree)
+
+
+def bound_lp_neighborhood_gallop(p: GraphParameters) -> float:
+    """Link prediction with galloping: O(m c log c)."""
+    c = max(2, p.degeneracy)
+    return p.m * c * math.log2(c)
+
+
+# ---------------------------------------------------------------------------
+# Observations 7.1 - 7.3
+# ---------------------------------------------------------------------------
+
+def check_observation_71(graph: CSRGraph) -> tuple[float, float]:
+    """Obs 7.1: sum over edges of min(d(u), d(v)) <= 4 c m.
+
+    Returns (lhs, rhs); callers assert lhs <= rhs.
+    """
+    params = graph_parameters(graph)
+    degrees = graph.degrees
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0.0, 0.0
+    lhs = float(np.minimum(degrees[edges[:, 0]], degrees[edges[:, 1]]).sum())
+    rhs = 4.0 * params.degeneracy * params.m
+    return lhs, rhs
+
+
+def check_observation_72(graph: CSRGraph) -> tuple[float, float]:
+    """Obs 7.2: sum over edges of (d(u) + d(v)) = sum_i d(i)^2 <= m d
+    (the equality holds by double counting; the bound by Cauchy-ish
+    majorization).  Returns (lhs, rhs)."""
+    params = graph_parameters(graph)
+    degrees = graph.degrees.astype(np.float64)
+    lhs = float((degrees**2).sum())
+    rhs = 2.0 * params.m * max(1, params.max_degree)
+    return lhs, rhs
+
+
+def check_observation_73(graph: CSRGraph) -> tuple[float, float]:
+    """Obs 7.3: for a degeneracy-oriented graph,
+    sum over edges of (|N+(u)| + |N+(v)|) <= 2 m c.  Returns (lhs, rhs)."""
+    result = degeneracy_order(graph)
+    digraph: DiGraph = orient_by_order(graph, result.order)
+    out = digraph.out_degrees
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0.0, 0.0
+    lhs = float((out[edges[:, 0]] + out[edges[:, 1]]).sum())
+    rhs = 2.0 * graph.num_edges * max(1, result.degeneracy)
+    return lhs, rhs
+
+
+def merge_work_measured(graph: CSRGraph) -> float:
+    """Actual merge work of oriented triangle counting:
+    sum over arcs (u,v) of |N+(u)| + |N+(v)| — the quantity Table 6
+    bounds by O(m c)."""
+    result = degeneracy_order(graph)
+    digraph = orient_by_order(graph, result.order)
+    total = 0.0
+    for u in range(digraph.num_vertices):
+        out_u = digraph.out_neighbors(u)
+        for v in out_u:
+            total += out_u.size + digraph.out_neighbors(int(v)).size
+    return total

@@ -1,0 +1,37 @@
+"""Baselines: hand-tuned non-set CPU algorithms and paradigm frameworks."""
+
+from repro.baselines.cpu_kernels import CpuRun
+from repro.baselines.frameworks import (
+    peregrine_like_count,
+    peregrine_like_kclique,
+    peregrine_like_maximal_cliques,
+    rstream_like_kclique,
+)
+from repro.baselines.nonset import (
+    BaselineRun,
+    bfs_nonset,
+    four_clique_count_nonset,
+    jarvis_patrick_nonset,
+    kclique_count_nonset,
+    kclique_star_nonset,
+    maximal_cliques_nonset,
+    subgraph_isomorphism_nonset,
+    triangle_count_nonset,
+)
+
+__all__ = [
+    "CpuRun",
+    "peregrine_like_count",
+    "peregrine_like_kclique",
+    "peregrine_like_maximal_cliques",
+    "rstream_like_kclique",
+    "BaselineRun",
+    "bfs_nonset",
+    "four_clique_count_nonset",
+    "jarvis_patrick_nonset",
+    "kclique_count_nonset",
+    "kclique_star_nonset",
+    "maximal_cliques_nonset",
+    "subgraph_isomorphism_nonset",
+    "triangle_count_nonset",
+]

@@ -1,0 +1,68 @@
+"""Cost accounting for the hand-tuned *non-set* CPU baselines.
+
+The paper's most challenging comparison targets are hand-optimized
+parallel algorithms (GAP triangle counting, Eppstein's Bron-Kerbosch,
+Danisch's k-clique, parallel VF2, ...).  These codes do not express
+their inner loops as set-algebra instructions; they probe adjacency
+structures directly.  A :class:`CpuRun` wraps a CPU backend and an
+execution engine so the baseline implementations can charge their
+probes, scans, and arithmetic onto simulated thread lanes — using the
+same saturating-bandwidth host model as everything else ("for fair
+comparison, all baselines benefit from the high bandwidth of PIM
+setting", paper Section 9.1: we give the host the same bandwidth
+scaling knee as the ``cpu-set`` configuration).
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import CpuConfig
+from repro.hw.cpu import CpuBackend
+from repro.hw.engine import EngineReport, ExecutionEngine
+
+
+class CpuRun:
+    """Simulated parallel execution of a non-set baseline."""
+
+    def __init__(self, *, threads: int = 32, cpu: CpuConfig | None = None):
+        self.config = cpu or CpuConfig()
+        self.backend = CpuBackend(self.config)
+        lanes = min(threads, self.config.max_threads)
+        bandwidth = self.config.effective_bandwidth_bytes_per_cycle(lanes)
+        self.engine = ExecutionEngine(lanes, bandwidth)
+
+    # -- task control -----------------------------------------------------
+
+    def begin_task(self) -> int:
+        return self.engine.begin_task()
+
+    # -- cost charging ------------------------------------------------------
+
+    def probe(self, degree: int, count: int = 1) -> None:
+        """``count`` binary-search edge probes into a sorted adjacency."""
+        self.engine.charge(self.backend.edge_probe(degree).scaled(count))
+
+    def hash_probe(self, count: int = 1) -> None:
+        self.engine.charge(self.backend.hash_probe().scaled(count))
+
+    def scan(self, elements: int) -> None:
+        self.engine.charge(self.backend.neighborhood_scan(elements))
+
+    def random_access(self, count: int = 1) -> None:
+        self.engine.charge(self.backend.random_access().scaled(count))
+
+    def alu(self, operations: float) -> None:
+        self.engine.charge(self.backend.alu(operations))
+
+    def merge(self, size_a: int, size_b: int, output_size: int = 0) -> None:
+        self.engine.charge(
+            self.backend.merge(size_a, size_b, output_size=output_size)
+        )
+
+    # -- results --------------------------------------------------------------
+
+    def report(self) -> EngineReport:
+        return self.engine.report()
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.engine.runtime_cycles

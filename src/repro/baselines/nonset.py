@@ -1,0 +1,493 @@
+"""Hand-tuned *non-set* baselines for every evaluated problem.
+
+These mirror the paper's ``_non-set`` bars in Fig. 6: tuned parallel
+algorithms that do not express their work as set-algebra instructions.
+Each function computes the exact same functional output as its
+set-centric counterpart, while charging the probe/scan/hash costs that
+the corresponding CPU implementation would incur:
+
+* triangle counting — GAP-style hash-join node iterator,
+* maximal cliques — Eppstein's Bron-Kerbosch with per-element set
+  manipulation on host hash sets,
+* k-clique — Danisch's kClist with candidate arrays and adjacency
+  flags,
+* 4-clique — the "traditional snippet" of the paper's Table 4
+  (nested loops with binary-search edge probes),
+* subgraph isomorphism — VF2 with direct adjacency probes,
+* clustering / link prediction — "very tuned" merge-based counting
+  (the paper notes this baseline *beats* the cpu-set variant on simple
+  problems while still losing to SISA),
+* BFS — standard queue-based traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.common import PatternBudget
+from repro.baselines.cpu_kernels import CpuRun
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.orientation import degeneracy_order
+from repro.hw.config import CpuConfig
+from repro.hw.engine import EngineReport
+
+
+@dataclass
+class BaselineRun:
+    """Functional output plus timing of one non-set baseline run."""
+
+    output: Any
+    report: EngineReport
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.report.runtime_cycles
+
+    @property
+    def runtime_mcycles(self) -> float:
+        return self.report.runtime_cycles / 1e6
+
+
+def _oriented(graph: CSRGraph) -> DiGraph:
+    return orient_by_order(graph, degeneracy_order(graph).order)
+
+
+# ---------------------------------------------------------------------------
+# Triangle counting
+# ---------------------------------------------------------------------------
+
+def triangle_count_nonset(
+    graph: CSRGraph, *, threads: int = 32, cpu: CpuConfig | None = None
+) -> BaselineRun:
+    """GAP-style tuned node iterator: for each arc (u, v), a tight
+    two-pointer merge of the sorted N+(u) and N+(v).  This baseline is
+    genuinely hard to beat (the paper's tc panel shows SISA's smallest
+    speedups, ~2x), because GAP's merge is already streaming-friendly."""
+    run = CpuRun(threads=threads, cpu=cpu)
+    dg = _oriented(graph)
+    total = 0
+    for u in range(dg.num_vertices):
+        run.begin_task()
+        out_u = dg.out_neighbors(u)
+        for v in out_u:
+            out_v = dg.out_neighbors(int(v))
+            run.merge(out_u.size, out_v.size)
+            total += int(np.intersect1d(out_u, out_v, assume_unique=True).size)
+    return BaselineRun(output=total, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# Maximal cliques (Bron-Kerbosch, host hash sets)
+# ---------------------------------------------------------------------------
+
+def _bk_nonset(
+    graph: CSRGraph,
+    run: CpuRun,
+    adjacency: list[set[int]],
+    r: list[int],
+    p: set[int],
+    x: set[int],
+    cliques: list[tuple[int, ...]],
+    budget: PatternBudget,
+) -> None:
+    if budget.exhausted:
+        return
+    if not p and not x:
+        cliques.append(tuple(sorted(r)))
+        budget.count()
+        return
+    if not p:
+        return
+    # Pivot: maximize |P ∩ N(u)| by probing P against each candidate's
+    # hash adjacency.
+    best_u, best_score = -1, -1
+    for u in sorted(p | x):
+        run.hash_probe(len(p))
+        score = sum(1 for w in p if w in adjacency[u])
+        if score > best_score:
+            best_u, best_score = u, score
+    candidates = sorted(p - adjacency[best_u])
+    run.hash_probe(len(p))
+    for v in candidates:
+        if budget.exhausted:
+            break
+        run.hash_probe(len(p) + len(x))  # probe P ∩ N(v), X ∩ N(v)
+        run.scan(len(p) + len(x))  # materialize the two child sets
+        run.random_access(2)  # allocate them
+        run.alu(4)
+        _bk_nonset(
+            graph,
+            run,
+            adjacency,
+            r + [v],
+            {w for w in p if w in adjacency[v]},
+            {w for w in x if w in adjacency[v]},
+            cliques,
+            budget,
+        )
+        p.discard(v)
+        x.add(v)
+        run.hash_probe(2)
+
+
+def maximal_cliques_nonset(
+    graph: CSRGraph,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+    max_patterns: int | None = None,
+    max_patterns_per_root: int | None = None,
+) -> BaselineRun:
+    run = CpuRun(threads=threads, cpu=cpu)
+    n = graph.num_vertices
+    adjacency = [set(int(w) for w in graph.neighbors(v)) for v in range(n)]
+    order = degeneracy_order(graph).order
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    cliques: list[tuple[int, ...]] = []
+    budget = PatternBudget(max_patterns)
+    for v in order:
+        if budget.exhausted:
+            break
+        run.begin_task()
+        v = int(v)
+        nbrs = graph.neighbors(v)
+        run.scan(nbrs.size)
+        p = {int(w) for w in nbrs if rank[int(w)] > rank[v]}
+        x = {int(w) for w in nbrs if rank[int(w)] < rank[v]}
+        if max_patterns_per_root is None:
+            root_budget = budget
+        else:
+            remaining = (
+                None if budget.limit is None else budget.limit - budget.found
+            )
+            limit = (
+                max_patterns_per_root
+                if remaining is None
+                else min(max_patterns_per_root, remaining)
+            )
+            root_budget = PatternBudget(max(0, limit))
+        _bk_nonset(graph, run, adjacency, [v], p, x, cliques, root_budget)
+        if root_budget is not budget:
+            budget.count(root_budget.found)
+    return BaselineRun(output=cliques, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# k-clique (Danisch-style with candidate arrays)
+# ---------------------------------------------------------------------------
+
+def _kcc_nonset(
+    dg: DiGraph,
+    run: CpuRun,
+    level: int,
+    k: int,
+    candidates: np.ndarray,
+    budget: PatternBudget,
+) -> int:
+    if budget.exhausted:
+        return 0
+    if level == k:
+        budget.count(candidates.size)
+        return int(candidates.size)
+    total = 0
+    candidate_set = set(int(x) for x in candidates)
+    for v in candidates:
+        if budget.exhausted:
+            break
+        out_v = dg.out_neighbors(int(v))
+        run.scan(out_v.size)
+        run.hash_probe(out_v.size)  # flag-array membership tests
+        next_candidates = np.asarray(
+            [int(w) for w in out_v if int(w) in candidate_set], dtype=np.int64
+        )
+        total += _kcc_nonset(dg, run, level + 1, k, next_candidates, budget)
+    return total
+
+
+def kclique_count_nonset(
+    graph: CSRGraph,
+    k: int,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+    max_patterns: int | None = None,
+) -> BaselineRun:
+    run = CpuRun(threads=threads, cpu=cpu)
+    dg = _oriented(graph)
+    budget = PatternBudget(max_patterns)
+    total = 0
+    for u in range(dg.num_vertices):
+        if budget.exhausted:
+            break
+        run.begin_task()
+        c2 = dg.out_neighbors(u)
+        run.scan(c2.size)
+        total += _kcc_nonset(dg, run, 2, k, c2.astype(np.int64), budget)
+    return BaselineRun(output=total, report=run.report())
+
+
+def four_clique_count_nonset(
+    graph: CSRGraph,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+    max_patterns: int | None = None,
+) -> BaselineRun:
+    """Table 4's traditional snippet: four nested loops plus three
+    binary-search edge probes per innermost iteration."""
+    run = CpuRun(threads=threads, cpu=cpu)
+    dg = _oriented(graph)
+    budget = PatternBudget(max_patterns)
+    count = 0
+    max_deg = max(1, dg.max_out_degree)
+    for v1 in range(dg.num_vertices):
+        if budget.exhausted:
+            break
+        run.begin_task()
+        for v2 in dg.out_neighbors(v1):
+            if budget.exhausted:
+                break
+            for v3 in dg.out_neighbors(int(v2)):
+                for v4 in dg.out_neighbors(int(v3)):
+                    run.probe(max_deg, 3)
+                    if (
+                        dg.has_arc(v1, int(v3))
+                        and dg.has_arc(v1, int(v4))
+                        and dg.has_arc(int(v2), int(v4))
+                    ):
+                        count += 1
+                        budget.count()
+                        if budget.exhausted:
+                            break
+                if budget.exhausted:
+                    break
+    return BaselineRun(output=count, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# k-clique-star
+# ---------------------------------------------------------------------------
+
+def kclique_star_nonset(
+    graph: CSRGraph,
+    k: int,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+    max_patterns: int | None = None,
+) -> BaselineRun:
+    """Enhanced Jabbour scheme without set algebra: per (k+1)-clique,
+    group by k-subsets using host hashing."""
+    run = CpuRun(threads=threads, cpu=cpu)
+    dg = _oriented(graph)
+    budget = PatternBudget(max_patterns)
+    cliques: list[tuple[int, ...]] = []
+
+    def collect(level: int, prefix: list[int], candidates: np.ndarray) -> None:
+        if budget.exhausted:
+            return
+        if level == k + 1:
+            for w in candidates:
+                cliques.append(tuple(prefix + [int(w)]))
+            budget.count(candidates.size)
+            return
+        candidate_set = set(int(x) for x in candidates)
+        for v in candidates:
+            if budget.exhausted:
+                break
+            out_v = dg.out_neighbors(int(v))
+            run.scan(out_v.size)
+            run.hash_probe(out_v.size)
+            nxt = np.asarray(
+                [int(w) for w in out_v if int(w) in candidate_set],
+                dtype=np.int64,
+            )
+            collect(level + 1, prefix + [int(v)], nxt)
+
+    for u in range(dg.num_vertices):
+        if budget.exhausted:
+            break
+        run.begin_task()
+        c2 = dg.out_neighbors(u)
+        run.scan(c2.size)
+        collect(2, [u], c2.astype(np.int64))
+
+    stars: dict[tuple[int, ...], set[int]] = {}
+    for clique in cliques:
+        run.hash_probe(len(clique))
+        members = set(clique)
+        for v in clique:
+            key = tuple(sorted(members - {v}))
+            stars.setdefault(key, set()).add(v)
+    output = {key: tuple(sorted(extra)) for key, extra in sorted(stars.items())}
+    return BaselineRun(output=output, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# Subgraph isomorphism (VF2 with direct adjacency probes)
+# ---------------------------------------------------------------------------
+
+def subgraph_isomorphism_nonset(
+    graph: CSRGraph,
+    pattern: CSRGraph,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+    max_matches: int | None = None,
+    target_labels=None,
+    pattern_labels=None,
+) -> BaselineRun:
+    run = CpuRun(threads=threads, cpu=cpu)
+    budget = PatternBudget(max_matches)
+    n = graph.num_vertices
+    pattern_n = pattern.num_vertices
+    count = 0
+
+    def pattern_frontier(mapped: set[int]) -> set[int]:
+        frontier: set[int] = set()
+        for u in mapped:
+            frontier.update(int(w) for w in pattern.neighbors(u))
+        return frontier - mapped
+
+    def match(core: dict[int, int], t1: set[int], m1: set[int]) -> None:
+        nonlocal count
+        if budget.exhausted:
+            return
+        mapped_pattern = set(core)
+        if len(mapped_pattern) == pattern_n:
+            count += 1
+            budget.count()
+            return
+        frontier = pattern_frontier(mapped_pattern)
+        run.alu(4 * pattern_n)
+        v2 = min(frontier) if frontier else min(
+            set(range(pattern_n)) - mapped_pattern
+        )
+        has_mapped_neighbor = any(
+            int(u) in mapped_pattern for u in pattern.neighbors(v2)
+        )
+        candidates = sorted(t1) if has_mapped_neighbor else range(n)
+        for v1 in candidates:
+            if budget.exhausted:
+                break
+            v1 = int(v1)
+            if v1 in m1:
+                run.hash_probe()
+                continue
+            ok = True
+            for u2 in pattern.neighbors(v2):
+                u2 = int(u2)
+                if u2 in core:
+                    run.probe(max(1, graph.degree(v1)))
+                    if not graph.has_edge(v1, core[u2]):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            # Lookahead: count frontier/new neighbors by scanning N(v1).
+            nbrs = graph.neighbors(v1)
+            run.scan(nbrs.size)
+            run.hash_probe(2 * nbrs.size)
+            t2 = pattern_frontier(mapped_pattern)
+            n2 = {int(w) for w in pattern.neighbors(v2)}
+            term1 = sum(1 for w in nbrs if int(w) in t1)
+            new1 = sum(1 for w in nbrs if int(w) not in t1 and int(w) not in m1)
+            term2 = len(n2 & t2)
+            new2 = len(n2 - t2 - mapped_pattern)
+            # Monomorphism lookahead (see repro.algorithms.subgraph_iso).
+            if term1 < term2 or term1 + new1 < term2 + new2:
+                continue
+            if target_labels is not None and pattern_labels is not None:
+                run.random_access()
+                if target_labels.vertex_label(v1) != pattern_labels.vertex_label(v2):
+                    continue
+            m_next = m1 | {v1}
+            t_next = (t1 | {int(w) for w in nbrs}) - m_next
+            run.hash_probe(nbrs.size)
+            match({**core, v2: v1}, t_next, m_next)
+
+    run.begin_task()
+    match({}, set(), set())
+    return BaselineRun(output=count, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# Clustering / link prediction scoring (tuned merge-based counting)
+# ---------------------------------------------------------------------------
+
+def jarvis_patrick_nonset(
+    graph: CSRGraph,
+    *,
+    tau: float = 2.0,
+    measure: str = "common_neighbors",
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+) -> BaselineRun:
+    """Tuned merge-intersection clustering: a tight two-pointer loop at
+    scan-level cost per element (the paper: "for certain simpler schemes
+    such as clustering, the very tuned _non-set baseline outperforms
+    _set-based while still falling short of _sisa")."""
+    run = CpuRun(threads=threads, cpu=cpu)
+    config = run.config
+    kept: list[tuple[int, int]] = []
+    for u, v in graph.edge_array():
+        run.begin_task()
+        nu = graph.neighbors(int(u))
+        nv = graph.neighbors(int(v))
+        # Tight SIMD-friendly merge: scan-level cycles, not branchy-merge.
+        run.scan(nu.size + nv.size)
+        run.alu(0.5 * (nu.size + nv.size))
+        inter = int(np.intersect1d(nu, nv, assume_unique=True).size)
+        if measure == "common_neighbors":
+            score = float(inter)
+        elif measure == "jaccard":
+            union = nu.size + nv.size - inter
+            score = inter / union if union else 0.0
+        elif measure == "overlap":
+            smaller = min(nu.size, nv.size)
+            score = inter / smaller if smaller else 0.0
+        else:  # total_neighbors
+            score = float(nu.size + nv.size - inter)
+        run.alu(4)
+        if score > tau:
+            kept.append((int(u), int(v)))
+    __ = config
+    return BaselineRun(output=kept, report=run.report())
+
+
+# ---------------------------------------------------------------------------
+# BFS
+# ---------------------------------------------------------------------------
+
+def bfs_nonset(
+    graph: CSRGraph,
+    root: int = 0,
+    *,
+    threads: int = 32,
+    cpu: CpuConfig | None = None,
+) -> BaselineRun:
+    """Standard queue-based top-down BFS."""
+    run = CpuRun(threads=threads, cpu=cpu)
+    n = graph.num_vertices
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = [root]
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            run.begin_task()
+            nbrs = graph.neighbors(u)
+            run.scan(nbrs.size)
+            run.random_access(nbrs.size)  # parent[] updates are random
+            for w in nbrs:
+                w = int(w)
+                if parent[w] == -1:
+                    parent[w] = u
+                    next_frontier.append(w)
+        frontier = next_frontier
+    return BaselineRun(output=parent, report=run.report())

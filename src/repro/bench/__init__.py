@@ -1,0 +1,5 @@
+"""Benchmark harness utilities."""
+
+from repro.bench.harness import Cell, ResultTable, run_three_variants
+
+__all__ = ["Cell", "ResultTable", "run_three_variants"]

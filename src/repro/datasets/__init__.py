@@ -1,0 +1,10 @@
+"""Named synthetic stand-ins for the paper's Table 7 datasets."""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load,
+)
+
+__all__ = ["DatasetSpec", "dataset_names", "dataset_spec", "load"]

@@ -1,0 +1,25 @@
+"""Exception types for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input or an operation unsupported by a graph."""
+
+
+class SetError(ReproError):
+    """Invalid set representation, universe mismatch, or unknown set id."""
+
+
+class IsaError(ReproError):
+    """Invalid SISA instruction, operand, or encoding."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or invalid dataset specification."""
+
+
+class ConfigError(ReproError):
+    """Invalid hardware or runtime configuration."""

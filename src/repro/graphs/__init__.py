@@ -1,0 +1,36 @@
+"""Graph substrate: CSR graphs, orientations, generators, properties, I/O."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.labels import Labeling
+from repro.graphs.orientation import (
+    DegeneracyResult,
+    approx_degeneracy_order,
+    core_decomposition,
+    degeneracy_order,
+    k_core,
+)
+from repro.graphs.properties import (
+    DegreeStats,
+    degree_histogram,
+    degree_stats,
+    degeneracy,
+    is_heavy_tailed,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DiGraph",
+    "orient_by_order",
+    "Labeling",
+    "DegeneracyResult",
+    "approx_degeneracy_order",
+    "core_decomposition",
+    "degeneracy_order",
+    "k_core",
+    "DegreeStats",
+    "degree_histogram",
+    "degree_stats",
+    "degeneracy",
+    "is_heavy_tailed",
+]

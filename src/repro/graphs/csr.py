@@ -1,0 +1,190 @@
+"""Compressed-sparse-row undirected graphs.
+
+The CSR layout follows the paper's assumptions (Section 6.1): there are
+``n`` neighborhoods, each neighborhood is static and sorted, and the total
+size of all neighborhoods is ``O(m)``.  Vertices are integers ``0..n-1``
+(the paper numbers them ``1..n``; we use zero-based ids throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+VERTEX_DTYPE = np.int64
+OFFSET_DTYPE = np.int64
+
+
+def _as_edge_array(edges: Iterable[tuple[int, int]] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        return arr.reshape(0, 2).astype(VERTEX_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError(f"edge array must have shape (m, 2), got {arr.shape}")
+    return arr.astype(VERTEX_DTYPE, copy=False)
+
+
+class CSRGraph:
+    """An immutable undirected graph in CSR form with sorted neighborhoods.
+
+    Parameters
+    ----------
+    offsets:
+        Array of length ``n + 1``; neighborhood of vertex ``v`` occupies
+        ``targets[offsets[v]:offsets[v + 1]]``.
+    targets:
+        Concatenated, per-vertex-sorted adjacency array of length ``2m``.
+    """
+
+    __slots__ = ("offsets", "targets", "_degrees")
+
+    def __init__(self, offsets: np.ndarray, targets: np.ndarray):
+        self.offsets = np.asarray(offsets, dtype=OFFSET_DTYPE)
+        self.targets = np.asarray(targets, dtype=VERTEX_DTYPE)
+        if self.offsets.ndim != 1 or self.offsets.size == 0:
+            raise GraphError("offsets must be a 1-D array of length n + 1")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.targets.size:
+            raise GraphError("offsets must start at 0 and end at len(targets)")
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if self.targets.size and (
+            self.targets.min() < 0 or self.targets.max() >= self.num_vertices
+        ):
+            raise GraphError("target vertex id out of range")
+        self._degrees = np.diff(self.offsets)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        *,
+        allow_self_loops: bool = False,
+    ) -> "CSRGraph":
+        """Build from an undirected edge list; duplicates are removed.
+
+        Each input pair ``(u, v)`` contributes both directions.  Self
+        loops are dropped unless ``allow_self_loops`` is set (the paper's
+        algorithms assume simple graphs).
+        """
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        arr = _as_edge_array(edges)
+        if arr.size and (arr.min() < 0 or arr.max() >= num_vertices):
+            raise GraphError("edge endpoint out of range")
+        if not allow_self_loops and arr.size:
+            arr = arr[arr[:, 0] != arr[:, 1]]
+        if arr.size == 0:
+            offsets = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
+            return cls(offsets, np.empty(0, dtype=VERTEX_DTYPE))
+        # Canonicalize and dedupe undirected edges.
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        keys = lo * num_vertices + hi
+        __, unique_idx = np.unique(keys, return_index=True)
+        lo, hi = lo[unique_idx], hi[unique_idx]
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        offsets = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
+        np.add.at(offsets, src + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return cls(offsets, dst)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "CSRGraph":
+        return cls.from_edges(num_vertices, np.empty((0, 2), dtype=VERTEX_DTYPE))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each stored twice in CSR)."""
+        return self.targets.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        return int(self._degrees[v])
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._degrees.max()) if self.num_vertices else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighborhood ``N(v)`` as a read-only view."""
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range")
+        return self.targets[self.offsets[v] : self.offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Binary-search edge probe (the non-set baselines' primitive)."""
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < nbrs.size and nbrs[i] == v)
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges once, shape ``(m, 2)``, ``u < v`` rows."""
+        if self.targets.size == 0:
+            return np.empty((0, 2), dtype=VERTEX_DTYPE)
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self._degrees
+        )
+        mask = src < self.targets
+        return np.column_stack([src[mask], self.targets[mask]])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, keep: Sequence[int] | np.ndarray) -> "CSRGraph":
+        """Induced subgraph ``G[keep]`` with vertices relabeled ``0..k-1``."""
+        keep = np.unique(np.asarray(keep, dtype=VERTEX_DTYPE))
+        if keep.size and (keep.min() < 0 or keep.max() >= self.num_vertices):
+            raise GraphError("subgraph vertex out of range")
+        relabel = -np.ones(self.num_vertices, dtype=VERTEX_DTYPE)
+        relabel[keep] = np.arange(keep.size, dtype=VERTEX_DTYPE)
+        edges = self.edge_array()
+        if edges.size:
+            mask = (relabel[edges[:, 0]] >= 0) & (relabel[edges[:, 1]] >= 0)
+            edges = relabel[edges[mask]]
+        return CSRGraph.from_edges(keep.size, edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.targets, other.targets
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is enough
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"

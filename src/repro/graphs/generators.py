@@ -1,0 +1,259 @@
+"""Deterministic synthetic graph generators.
+
+These generators provide the structural regimes the paper's evaluation
+depends on (Section 9, Figure 7a):
+
+* heavy-tailed degree distributions with dense clusters (biological /
+  brain networks, where SISA-PUM shines),
+* light-tailed graphs without large cliques (social / scientific
+  networks, where SISA falls back to SISA-PNM),
+* dense near-complete graphs (DIMACS instances, ant-colony interaction
+  networks),
+* Kronecker graphs for the scalability study (Section 9.2), following
+  Leskovec et al.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, VERTEX_DTYPE
+
+
+def _dedupe_edges(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    mask = src != dst
+    src, dst = src[mask], dst[mask]
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keys = np.unique(lo * np.int64(n) + hi)
+    return np.column_stack([keys // n, keys % n]).astype(VERTEX_DTYPE)
+
+
+def gnp_random_graph(n: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """Erdos-Renyi G(n, p).  Dense sampling; use for small/moderate n."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    if n < 2 or p == 0.0:
+        return CSRGraph.empty(max(n, 0))
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    edges = np.column_stack([iu[mask], ju[mask]]).astype(VERTEX_DTYPE)
+    return CSRGraph.from_edges(n, edges)
+
+
+def power_law_weights(
+    n: int,
+    gamma: float,
+    *,
+    min_weight: float = 1.0,
+    max_weight_fraction: float = 0.35,
+) -> np.ndarray:
+    """Expected-degree weights ``w_i ~ i^(-1/(gamma-1))`` (Chung-Lu style).
+
+    Weights are capped at ``max_weight_fraction * n`` so that the top
+    hubs stay below connection probability one — otherwise heavy tails
+    (gamma near 2) degenerate into a complete core clique, which makes
+    structurally different datasets produce identical mining workloads.
+    """
+    if gamma <= 1.0:
+        raise GraphError("power-law exponent gamma must exceed 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = min_weight * (n / ranks) ** (1.0 / (gamma - 1.0))
+    return np.minimum(weights, max_weight_fraction * n)
+
+
+def chung_lu_graph(
+    n: int,
+    target_edges: int,
+    *,
+    gamma: float = 2.2,
+    seed: int = 0,
+    max_rounds: int = 12,
+    max_weight_fraction: float = 0.35,
+) -> CSRGraph:
+    """Chung-Lu graph with a power-law expected degree sequence.
+
+    Samples endpoint pairs proportionally to vertex weights until about
+    ``target_edges`` distinct undirected edges exist.  Heavier tails
+    (smaller gamma) concentrate edges on few hub vertices.
+    """
+    if n < 2 or target_edges <= 0:
+        return CSRGraph.empty(max(n, 0))
+    rng = np.random.default_rng(seed)
+    weights = power_law_weights(n, gamma, max_weight_fraction=max_weight_fraction)
+    probs = weights / weights.sum()
+    collected = np.empty((0, 2), dtype=VERTEX_DTYPE)
+    need = target_edges
+    for _ in range(max_rounds):
+        batch = int(need * 1.6) + 16
+        src = rng.choice(n, size=batch, p=probs)
+        dst = rng.choice(n, size=batch, p=probs)
+        new = _dedupe_edges(n, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))
+        collected = _dedupe_edges(
+            n,
+            np.concatenate([collected[:, 0], new[:, 0]]),
+            np.concatenate([collected[:, 1], new[:, 1]]),
+        )
+        if collected.shape[0] >= target_edges:
+            break
+        need = target_edges - collected.shape[0]
+    if collected.shape[0] > target_edges:
+        pick = rng.choice(collected.shape[0], size=target_edges, replace=False)
+        collected = collected[np.sort(pick)]
+    return CSRGraph.from_edges(n, collected)
+
+
+def planted_clique_graph(
+    n: int,
+    target_edges: int,
+    *,
+    num_cliques: int = 8,
+    clique_size: int = 12,
+    gamma: float = 2.1,
+    seed: int = 0,
+    max_weight_fraction: float = 0.35,
+) -> CSRGraph:
+    """Heavy-tailed Chung-Lu background plus planted dense cliques.
+
+    This is the stand-in for the paper's biological / genome graphs:
+    Fig. 7a notes they have "very heavy tails ... many large
+    neighborhoods and very dense large clusters".  Cliques are planted
+    on the highest-weight (hub) vertices plus random fill, producing
+    both large maximal cliques and heavy degree tails.
+    """
+    rng = np.random.default_rng(seed)
+    clique_edges_each = clique_size * (clique_size - 1) // 2
+    background_edges = max(target_edges - num_cliques * clique_edges_each, n)
+    base = chung_lu_graph(
+        n,
+        background_edges,
+        gamma=gamma,
+        seed=int(rng.integers(1 << 30)),
+        max_weight_fraction=max_weight_fraction,
+    )
+    extra: list[np.ndarray] = [base.edge_array()]
+    hubs = np.arange(min(n, max(num_cliques, clique_size)))
+    for __ in range(num_cliques):
+        # Vary planted sizes so distinct datasets never share identical
+        # dense-core workloads.
+        size = int(rng.integers(max(4, clique_size - 4), clique_size + 5))
+        anchor = rng.choice(hubs, size=min(3, hubs.size), replace=False)
+        rest = rng.choice(n, size=min(n, size), replace=False)
+        members = np.unique(np.concatenate([anchor, rest]))[:size]
+        iu, ju = np.triu_indices(members.size, k=1)
+        extra.append(
+            np.column_stack([members[iu], members[ju]]).astype(VERTEX_DTYPE)
+        )
+    edges = np.concatenate(extra)
+    return CSRGraph.from_edges(n, edges)
+
+
+def bipartite_core_graph(
+    n: int,
+    target_edges: int,
+    *,
+    core_fraction: float = 0.25,
+    seed: int = 0,
+) -> CSRGraph:
+    """A dense quasi-bipartite core with a sparse periphery.
+
+    Stand-in for the paper's economic networks (input-output matrices):
+    a modest set of "sector" vertices densely interconnected with the
+    rest, giving moderate tails and dense rectangular blocks.
+    """
+    rng = np.random.default_rng(seed)
+    k = max(2, int(n * core_fraction))
+    core = np.arange(k)
+    periphery = np.arange(k, n)
+    if periphery.size == 0:
+        return gnp_random_graph(n, min(1.0, 2 * target_edges / (n * (n - 1))), seed=seed)
+    src = rng.choice(core, size=target_edges)
+    dst = rng.choice(periphery, size=target_edges)
+    dense_pairs = _dedupe_edges(n, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))
+    # Add some intra-core density so cliques exist (capped well below a
+    # complete core, which would collapse distinct datasets into the
+    # same effective mining workload).
+    iu, ju = np.triu_indices(k, k=1)
+    keep = rng.random(iu.size) < min(0.35, 2.0 * target_edges / max(1, k * k))
+    core_pairs = np.column_stack([core[iu[keep]], core[ju[keep]]]).astype(VERTEX_DTYPE)
+    edges = np.concatenate([dense_pairs, core_pairs])
+    if edges.shape[0] > target_edges:
+        pick = rng.choice(edges.shape[0], size=target_edges, replace=False)
+        edges = edges[np.sort(pick)]
+    return CSRGraph.from_edges(n, edges)
+
+
+def near_complete_graph(n: int, *, missing_fraction: float = 0.1, seed: int = 0) -> CSRGraph:
+    """Almost-complete graph: the ant-colony interaction stand-in."""
+    return gnp_random_graph(n, 1.0 - missing_fraction, seed=seed)
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: int,
+    *,
+    initiator: tuple[tuple[float, float], tuple[float, float]] = (
+        (0.57, 0.19),
+        (0.19, 0.05),
+    ),
+    seed: int = 0,
+) -> CSRGraph:
+    """Stochastic Kronecker graph (Graph500-style RMAT sampling).
+
+    ``n = 2**scale`` vertices and about ``edge_factor * n`` undirected
+    edges (before dedup).  Used for the strong/weak scaling study, as in
+    the paper ("we use Kronecker graphs and vary the number of
+    edges/vertex").
+    """
+    if scale < 1:
+        raise GraphError("scale must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    (a, b), (c, d) = initiator
+    total = a + b + c + d
+    pa, pb, pc = a / total, b / total, c / total
+    src = np.zeros(m, dtype=VERTEX_DTYPE)
+    dst = np.zeros(m, dtype=VERTEX_DTYPE)
+    for __ in range(scale):
+        r = rng.random(m)
+        right = (r >= pa + pc) & (r < pa + pc + pb) | (r >= pa + pb + pc)
+        down = (r >= pa) & (r < pa + pc) | (r >= pa + pb + pc)
+        src = (src << 1) | down.astype(VERTEX_DTYPE)
+        dst = (dst << 1) | right.astype(VERTEX_DTYPE)
+    # Permute vertex ids to remove degree-locality artifacts.
+    perm = rng.permutation(n).astype(VERTEX_DTYPE)
+    return CSRGraph.from_edges(n, np.column_stack([perm[src], perm[dst]]))
+
+
+def star_graph(n: int) -> CSRGraph:
+    """A star: max degree n-1 but degeneracy 1 (used in theory tests)."""
+    if n < 1:
+        raise GraphError("star graph needs at least one vertex")
+    edges = np.column_stack(
+        [np.zeros(n - 1, dtype=VERTEX_DTYPE), np.arange(1, n, dtype=VERTEX_DTYPE)]
+    )
+    return CSRGraph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    iu, ju = np.triu_indices(n, k=1)
+    return CSRGraph.from_edges(n, np.column_stack([iu, ju]).astype(VERTEX_DTYPE))
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    if n < 3:
+        raise GraphError("cycle graph needs at least three vertices")
+    idx = np.arange(n, dtype=VERTEX_DTYPE)
+    return CSRGraph.from_edges(n, np.column_stack([idx, (idx + 1) % n]))
+
+
+def path_graph(n: int) -> CSRGraph:
+    if n < 1:
+        raise GraphError("path graph needs at least one vertex")
+    idx = np.arange(n - 1, dtype=VERTEX_DTYPE)
+    return CSRGraph.from_edges(n, np.column_stack([idx, idx + 1]))

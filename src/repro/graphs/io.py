@@ -1,0 +1,58 @@
+"""Edge-list I/O for CSR graphs.
+
+Supports the whitespace-separated edge-list format used by the Network
+Repository datasets the paper evaluates on (``u v`` per line, optional
+``%`` / ``#`` comment lines, optional weight column which is ignored).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, VERTEX_DTYPE
+
+
+def read_edge_list(path: str | Path | io.TextIOBase, *, num_vertices: int | None = None) -> CSRGraph:
+    """Read an undirected graph from an edge-list file or file object."""
+    if isinstance(path, io.TextIOBase):
+        lines = path.readlines()
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    edges: list[tuple[int, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in "%#":
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected 'u v', got {stripped!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: non-integer endpoint") from exc
+        if u < 0 or v < 0:
+            raise GraphError(f"line {lineno}: negative vertex id")
+        edges.append((u, v))
+    arr = np.asarray(edges, dtype=VERTEX_DTYPE).reshape(-1, 2)
+    if num_vertices is None:
+        num_vertices = int(arr.max()) + 1 if arr.size else 0
+    return CSRGraph.from_edges(num_vertices, arr)
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path | io.TextIOBase) -> None:
+    """Write each undirected edge once as ``u v`` lines."""
+    def _emit(fh) -> None:
+        fh.write(f"# n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v in graph.edge_array():
+            fh.write(f"{u} {v}\n")
+
+    if isinstance(path, io.TextIOBase):
+        _emit(path)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            _emit(fh)

@@ -1,0 +1,55 @@
+"""Vertex and edge labelings for labeled graphs ``G = (V, E, L)``.
+
+The paper (Section 6.3.1) stores vertex labels as a sparse array indexed
+by vertex id; edge labels are kept per (canonical) edge.  Subgraph
+isomorphism (Algorithm 7) consumes this interface in ``verify_labels``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+
+
+class Labeling:
+    """Labels for vertices and (optionally) edges of one graph."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        vertex_labels: Iterable[int] | np.ndarray,
+        edge_labels: Mapping[tuple[int, int], int] | None = None,
+    ):
+        self.vertex_labels = np.asarray(vertex_labels, dtype=np.int64)
+        if self.vertex_labels.size != graph.num_vertices:
+            raise GraphError("need exactly one label per vertex")
+        self._edge_labels: dict[tuple[int, int], int] = {}
+        if edge_labels:
+            for (u, v), lab in edge_labels.items():
+                if not graph.has_edge(u, v):
+                    raise GraphError(f"edge label on a non-edge ({u}, {v})")
+                self._edge_labels[(min(u, v), max(u, v))] = int(lab)
+
+    def vertex_label(self, v: int) -> int:
+        return int(self.vertex_labels[v])
+
+    def edge_label(self, u: int, v: int, default: int = 0) -> int:
+        return self._edge_labels.get((min(u, v), max(u, v)), default)
+
+    @property
+    def num_vertex_labels(self) -> int:
+        return int(np.unique(self.vertex_labels).size)
+
+    @classmethod
+    def random(
+        cls, graph: CSRGraph, num_labels: int, *, seed: int = 0
+    ) -> "Labeling":
+        """Uniform random vertex labels, as in the paper's labeled-SI runs
+        ("each vertex receives a label selected at random out of 3 ones").
+        """
+        rng = np.random.default_rng(seed)
+        return cls(graph, rng.integers(0, num_labels, size=graph.num_vertices))

@@ -1,0 +1,27 @@
+"""Hardware timing models: PUM, PNM, host CPU, caches, execution engine."""
+
+from repro.hw.cache import CacheStats, LruCache
+from repro.hw.config import CpuConfig, HardwareConfig
+from repro.hw.cost import Cost, ZERO_COST
+from repro.hw.cpu import CpuBackend
+from repro.hw.energy import EnergyParameters, EnergyReport, estimate_energy
+from repro.hw.engine import EngineReport, ExecutionEngine
+from repro.hw.pnm import PnmBackend
+from repro.hw.pum import PumBackend
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "CpuConfig",
+    "HardwareConfig",
+    "Cost",
+    "ZERO_COST",
+    "CpuBackend",
+    "EnergyParameters",
+    "EnergyReport",
+    "estimate_energy",
+    "EngineReport",
+    "ExecutionEngine",
+    "PnmBackend",
+    "PumBackend",
+]

@@ -1,0 +1,131 @@
+"""Host-CPU timing: the baseline platform for non-SISA instructions.
+
+Models the paper's out-of-order manycore (Section 9.1, "Platform for
+non-SISA Instructions & Baselines").  Two families of primitives:
+
+* the *non-set* baselines' kernels — binary-search edge probes into
+  CSR, neighborhood scans, hash probes;
+* the *set-based* baselines' kernels — the same merge / galloping /
+  bitwise set algorithms as SISA, but executed by host cores through
+  the cache hierarchy, paying per-element instruction costs and
+  competing for saturating shared memory bandwidth.
+
+The contention model (``CpuConfig.effective_bandwidth_bytes_per_cycle``)
+is what reproduces Fig. 1: past the saturation knee, extra threads stop
+helping and the stall fraction climbs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.config import CpuConfig
+from repro.hw.cost import Cost
+
+
+class CpuBackend:
+    """Timing model for work executed on the host CPU."""
+
+    def __init__(self, config: CpuConfig):
+        self.config = config
+
+    # -- non-set baseline primitives ----------------------------------------
+
+    def edge_probe(self, degree: int) -> Cost:
+        """Binary-search probe `is (u, v) an edge?` into a sorted
+        neighborhood of the given degree.  Each level touches a fresh
+        cache line until the search interval fits in one line."""
+        steps = max(1.0, math.log2(max(degree, 2)))
+        return Cost(
+            compute_cycles=steps * self.config.probe_step_cycles,
+            memory_bytes=16.0 * steps,
+        )
+
+    def neighborhood_scan(self, degree: int) -> Cost:
+        """Stream one neighborhood (sequential, line-friendly)."""
+        word_bytes = 4
+        return Cost(
+            compute_cycles=self.config.cycles_per_scan_element * degree,
+            memory_bytes=word_bytes * degree,
+        )
+
+    def hash_probe(self) -> Cost:
+        """One hash-table probe.  Scattered buckets mean most probes
+        fetch a fresh cache line — this traffic is what makes probe-
+        heavy mining codes bandwidth-bound (Fig. 1)."""
+        return Cost(
+            compute_cycles=self.config.cycles_per_hash_probe,
+            memory_bytes=0.75 * self.config.cache_line_bytes,
+            latency_cycles=self.config.hash_probe_latency_cycles,
+        )
+
+    def random_access(self) -> Cost:
+        """One dependent random memory access (pointer chase)."""
+        return Cost(latency_cycles=self.config.dram_latency_cycles)
+
+    def alu(self, operations: float) -> Cost:
+        return Cost(compute_cycles=operations)
+
+    # -- set-algorithm primitives on the host ---------------------------------
+
+    def merge(self, size_a: int, size_b: int, *, output_size: int = 0) -> Cost:
+        """Two-pointer merge of sorted arrays on a host core: branchy,
+        ~3 cycles/element, plus streaming traffic."""
+        word_bytes = 4
+        elements = size_a + size_b
+        return Cost(
+            compute_cycles=self.config.cycles_per_merge_element * elements,
+            memory_bytes=word_bytes * (elements + output_size),
+        )
+
+    def galloping(self, size_a: int, size_b: int, *, output_size: int = 0) -> Cost:
+        small = min(size_a, size_b)
+        big = max(size_a, size_b)
+        if small == 0:
+            return Cost()
+        probes = small * max(1.0, math.log2(max(big, 2)))
+        word_bytes = 4
+        return Cost(
+            compute_cycles=probes * self.config.probe_step_cycles,
+            memory_bytes=word_bytes * output_size,
+        )
+
+    def bitwise(self, universe_bits: int, *, output: bool = True) -> Cost:
+        """Word-at-a-time bitvector op on a host core: the CPU must
+        stream all n bits of both operands (and the result) through the
+        cache hierarchy — no in-situ shortcut."""
+        words = universe_bits / 64
+        passes = 3 if output else 2
+        return Cost(
+            compute_cycles=self.config.cycles_per_scan_element * words,
+            memory_bytes=passes * universe_bits / 8,
+        )
+
+    def sa_probe_db(self, sa_size: int, *, output_size: int = 0) -> Cost:
+        word_bytes = 4
+        return Cost(
+            compute_cycles=2.0 * sa_size,
+            memory_bytes=word_bytes * (sa_size + output_size),
+        )
+
+    def element_update_sa(self, sa_size: int) -> Cost:
+        return Cost(
+            compute_cycles=self.config.cycles_per_scan_element * sa_size,
+            memory_bytes=4 * sa_size,
+        )
+
+    def bit_write(self) -> Cost:
+        return Cost(compute_cycles=self.config.probe_step_cycles)
+
+    def membership_sorted(self, size: int) -> Cost:
+        steps = max(1.0, math.log2(max(size, 2)))
+        return Cost(compute_cycles=steps * self.config.probe_step_cycles)
+
+    def membership_unsorted(self, size: int) -> Cost:
+        return self.neighborhood_scan(size)
+
+    def membership_dense(self) -> Cost:
+        return Cost(compute_cycles=self.config.probe_step_cycles)
+
+    def effective_bandwidth_bytes_per_cycle(self, threads: int) -> float:
+        return self.config.effective_bandwidth_bytes_per_cycle(threads)

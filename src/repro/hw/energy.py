@@ -1,0 +1,62 @@
+"""First-order energy model for SISA executions.
+
+The paper motivates in-situ PIM partly by energy ("for highest
+performance and energy efficiency", Section 1; Ambit's bulk bitwise
+operations are dramatically cheaper per bit than moving data over the
+off-chip bus).  This module estimates the energy of a simulated run
+from the engine's aggregate traffic and the SCU's instruction counts,
+using per-event constants in the range reported for DRAM/PIM systems:
+
+* off-chip data movement ~ 20 pJ/byte (I/O + DRAM access energy),
+* near-memory (TSV) movement ~ 4 pJ/byte,
+* one in-situ bulk bitwise step ~ 0.1 nJ (row activations),
+* core compute ~ 20 pJ/cycle (host OoO) or 5 pJ/cycle (in-order PNM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime circular import (runtime -> hw -> energy)
+    from repro.runtime.context import SisaContext
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    offchip_pj_per_byte: float = 20.0
+    nearmem_pj_per_byte: float = 4.0
+    insitu_nj_per_op: float = 0.1
+    host_pj_per_cycle: float = 20.0
+    pnm_pj_per_cycle: float = 5.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    data_movement_nj: float
+    compute_nj: float
+    insitu_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.data_movement_nj + self.compute_nj + self.insitu_nj
+
+
+def estimate_energy(
+    ctx: "SisaContext", params: EnergyParameters | None = None
+) -> EnergyReport:
+    """Estimate the energy of everything charged to ``ctx``'s engine."""
+    params = params or EnergyParameters()
+    lanes = ctx.engine._lanes
+    total_bytes = sum(lane.memory_bytes for lane in lanes)
+    total_compute = sum(lane.compute_cycles for lane in lanes)
+    if ctx.mode == "sisa":
+        movement = total_bytes * params.nearmem_pj_per_byte / 1e3
+        compute = total_compute * params.pnm_pj_per_cycle / 1e3
+    else:
+        movement = total_bytes * params.offchip_pj_per_byte / 1e3
+        compute = total_compute * params.host_pj_per_cycle / 1e3
+    insitu = ctx.scu.stats.pum_ops * params.insitu_nj_per_op
+    return EnergyReport(
+        data_movement_nj=movement, compute_nj=compute, insitu_nj=insitu
+    )

@@ -1,0 +1,133 @@
+"""The execution engine: simulated thread lanes and runtime accounting.
+
+The paper evaluates parallel executions on up to 32 threads with
+deterministic scheduling (Section 9.1, "Tackling Long Simulation
+Runtimes").  We model a parallel run as a fixed number of *lanes*.
+Work is divided into *tasks* (e.g. one per outer-loop vertex); each
+task is placed on the least-loaded lane at its start -- a greedy,
+deterministic schedule.  A lane accumulates the costs of all
+operations executed while its task is active.
+
+The simulated runtime of the whole region is the maximum lane time;
+per-lane busy/stall statistics reproduce the paper's load-balance
+analysis (Fig. 9a) and the stalled-cycle motivation plot (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.cost import Cost
+
+
+@dataclass
+class LaneState:
+    compute_cycles: float = 0.0
+    memory_bytes: float = 0.0
+    latency_cycles: float = 0.0
+    tasks: int = 0
+
+    def charge(self, cost: Cost) -> None:
+        self.compute_cycles += cost.compute_cycles
+        self.memory_bytes += cost.memory_bytes
+        self.latency_cycles += cost.latency_cycles
+
+    def time(self, bytes_per_cycle: float) -> float:
+        memory = self.memory_bytes / bytes_per_cycle if bytes_per_cycle > 0 else 0.0
+        return self.compute_cycles + self.latency_cycles + memory
+
+    def memory_time(self, bytes_per_cycle: float) -> float:
+        stream = self.memory_bytes / bytes_per_cycle if bytes_per_cycle > 0 else 0.0
+        return stream + self.latency_cycles
+
+
+@dataclass
+class EngineReport:
+    """Summary of a simulated parallel region."""
+
+    runtime_cycles: float
+    lane_times: list[float]
+    lane_memory_times: list[float]
+    tasks: int
+
+    @property
+    def threads(self) -> int:
+        return len(self.lane_times)
+
+    @property
+    def stall_fractions(self) -> list[float]:
+        """Per-lane fraction of the region spent waiting: idle time at
+        the barrier plus memory time, over the region runtime.  This is
+        the quantity behind Fig. 9a and (aggregated) Fig. 1 right."""
+        if self.runtime_cycles <= 0:
+            return [0.0] * self.threads
+        fractions = []
+        for busy, mem in zip(self.lane_times, self.lane_memory_times):
+            idle = self.runtime_cycles - busy
+            fractions.append(min(1.0, (idle + mem) / self.runtime_cycles))
+        return fractions
+
+    @property
+    def avg_stall_fraction(self) -> float:
+        fracs = self.stall_fractions
+        return sum(fracs) / len(fracs) if fracs else 0.0
+
+
+class ExecutionEngine:
+    """Accumulates costs on lanes and computes simulated runtimes.
+
+    ``bytes_per_cycle`` is the *effective per-lane* streaming bandwidth;
+    callers derive it from their platform model (CPU contention model or
+    PNM bandwidth proportionality).
+    """
+
+    def __init__(self, threads: int, bytes_per_cycle: float):
+        if threads <= 0:
+            raise ConfigError("threads must be positive")
+        if bytes_per_cycle <= 0:
+            raise ConfigError("bytes_per_cycle must be positive")
+        self.threads = threads
+        self.bytes_per_cycle = bytes_per_cycle
+        self._lanes = [LaneState() for _ in range(threads)]
+        self._current = 0
+        self._sequential_overhead = 0.0
+
+    # -- task scheduling ---------------------------------------------------
+
+    def begin_task(self) -> int:
+        """Start a new task on the least-loaded lane (greedy placement);
+        returns the lane index."""
+        times = [lane.time(self.bytes_per_cycle) for lane in self._lanes]
+        self._current = times.index(min(times))
+        self._lanes[self._current].tasks += 1
+        return self._current
+
+    def charge(self, cost: Cost) -> None:
+        """Charge a cost to the current task's lane."""
+        self._lanes[self._current].charge(cost)
+
+    def charge_sequential(self, cost: Cost) -> None:
+        """Charge a cost that cannot be parallelized (setup, reductions)."""
+        self._sequential_overhead += cost.cycles(self.bytes_per_cycle)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(lane.tasks for lane in self._lanes)
+
+    def report(self) -> EngineReport:
+        lane_times = [lane.time(self.bytes_per_cycle) for lane in self._lanes]
+        lane_memory = [lane.memory_time(self.bytes_per_cycle) for lane in self._lanes]
+        runtime = (max(lane_times) if lane_times else 0.0) + self._sequential_overhead
+        return EngineReport(
+            runtime_cycles=runtime,
+            lane_times=lane_times,
+            lane_memory_times=lane_memory,
+            tasks=self.total_tasks,
+        )
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.report().runtime_cycles

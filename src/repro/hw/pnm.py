@@ -1,0 +1,95 @@
+"""SISA-PNM timing: near-memory logic-layer cores (Tesseract-style).
+
+Implements the paper's Section 8.3 performance models:
+
+* Streaming (merge-based ops on two SAs):
+      l_M + W * max(|A|, |B|) / min(b_M, b_L)
+* Random accesses (galloping):
+      l_M * min(|A|, |B|) * log2(max(|A|, |B|))
+  with the near-memory access latency substituted for l_M, since the
+  probes never leave the cube.
+
+Streaming traffic is charged as ``memory_bytes`` so the engine can
+apply bandwidth proportionality (each active vault contributes its own
+16 GB/s; Section 8.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.config import HardwareConfig
+from repro.hw.cost import Cost
+
+
+class PnmBackend:
+    """Timing model for set operations executed by logic-layer cores."""
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    @property
+    def _word_bytes(self) -> float:
+        return self.config.word_bits / 8
+
+    def streaming(self, size_a: int, size_b: int, *, output_size: int = 0) -> Cost:
+        """Merge-style pass over two sparse arrays plus the output write."""
+        streamed = self._word_bytes * (max(size_a, size_b) + output_size)
+        compute = self.config.pnm_cycles_per_element * (size_a + size_b)
+        return Cost(
+            compute_cycles=compute,
+            memory_bytes=streamed,
+            latency_cycles=self.config.effective_op_latency_cycles,
+        )
+
+    def galloping(self, size_a: int, size_b: int, *, output_size: int = 0) -> Cost:
+        """Binary-search the smaller set into the larger one."""
+        small = min(size_a, size_b)
+        big = max(size_a, size_b)
+        if small == 0:
+            return Cost(latency_cycles=self.config.effective_op_latency_cycles)
+        probes = small * max(1.0, math.log2(max(big, 2)))
+        return Cost(
+            compute_cycles=self.config.pnm_cycles_per_element * small,
+            memory_bytes=self._word_bytes * output_size,
+            latency_cycles=self.config.effective_op_latency_cycles
+            + probes * self.config.pnm_random_access_cycles,
+        )
+
+    def sa_probe_db(self, sa_size: int, *, output_size: int = 0) -> Cost:
+        """Iterate an SA with O(1) bit probes into a DB (instruction 0x3).
+
+        Successive bit probes mostly hit the open DRAM row holding the
+        bitvector, so each costs ~2 core cycles rather than a full
+        random access.
+        """
+        return Cost(
+            compute_cycles=(self.config.pnm_cycles_per_element + 2.0) * sa_size,
+            memory_bytes=self._word_bytes * (sa_size + output_size),
+            latency_cycles=self.config.effective_op_latency_cycles,
+        )
+
+    def element_update_sa(self, sa_size: int) -> Cost:
+        """Add/remove one element of a sorted SA: O(|A|) data movement."""
+        return Cost(
+            memory_bytes=self._word_bytes * sa_size,
+            latency_cycles=self.config.effective_op_latency_cycles,
+        )
+
+    def scan(self, size: int) -> Cost:
+        """Stream one SA (e.g. for iteration or copy-out)."""
+        return Cost(
+            compute_cycles=self.config.pnm_cycles_per_element * size,
+            memory_bytes=self._word_bytes * size,
+            latency_cycles=self.config.effective_op_latency_cycles,
+        )
+
+    def membership_sorted(self, size: int) -> Cost:
+        steps = max(1.0, math.log2(max(size, 2)))
+        return Cost(latency_cycles=steps * self.config.pnm_random_access_cycles)
+
+    def membership_unsorted(self, size: int) -> Cost:
+        return self.scan(size)
+
+    def membership_dense(self) -> Cost:
+        return Cost(latency_cycles=self.config.pnm_random_access_cycles)

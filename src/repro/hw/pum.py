@@ -1,0 +1,66 @@
+"""SISA-PUM timing: in-situ bulk bitwise DRAM computing (Ambit-style).
+
+The paper models an in-situ operation's runtime as
+
+    l_M + l_I * ceil(n / (q * R))
+
+(Section 9.1, "SISA Implementation"): one DRAM access to initiate, then
+one bulk-bitwise step per group of ``q`` parallel rows of ``R`` bits
+until all ``n`` bits of the operand bitvectors are processed.  Note the
+cost is independent of the sets' cardinalities -- only the universe
+size ``n`` matters, which is why dense high-degree neighborhoods are
+so profitable here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.config import HardwareConfig
+from repro.hw.cost import Cost
+
+
+class PumBackend:
+    """Timing model for bulk bitwise operations inside DRAM."""
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def _steps(self, universe_bits: int) -> int:
+        per_step = self.config.parallel_rows * self.config.row_size_bits
+        return max(1, math.ceil(universe_bits / per_step))
+
+    def bulk_bitwise(self, universe_bits: int, *, ops: int = 1) -> Cost:
+        """Cost of ``ops`` chained bulk bitwise operations (AND/OR/NOT)
+        over bitvectors of ``universe_bits`` bits.
+
+        Difference needs two ops (NOT then AND, Section 8.1); plain
+        intersection and union need one.
+        """
+        steps = self._steps(universe_bits)
+        return Cost(
+            latency_cycles=self.config.effective_op_latency_cycles
+            + ops * steps * self.config.insitu_op_cycles
+        )
+
+    def intersect(self, universe_bits: int) -> Cost:
+        return self.bulk_bitwise(universe_bits, ops=1)
+
+    def union(self, universe_bits: int) -> Cost:
+        return self.bulk_bitwise(universe_bits, ops=1)
+
+    def difference(self, universe_bits: int) -> Cost:
+        return self.bulk_bitwise(universe_bits, ops=2)
+
+    def cardinality_of_result(self, universe_bits: int) -> Cost:
+        """Popcount of the result row(s): one extra streaming pass by a
+        near-memory core over n bits."""
+        bytes_streamed = universe_bits / 8
+        return Cost(
+            memory_bytes=bytes_streamed,
+            latency_cycles=self.config.effective_op_latency_cycles,
+        )
+
+    def bit_write(self) -> Cost:
+        """Set/clear a single bit (instructions 0x5 / 0x6): one DRAM access."""
+        return Cost(latency_cycles=self.config.effective_op_latency_cycles)

@@ -1,0 +1,38 @@
+"""The SISA instruction-set layer: opcodes, encoding, metadata, SCU."""
+
+from repro.isa.encoding import EncodedInstruction, decode, encode
+from repro.isa.metadata import SetMeta, SetMetadataTable
+from repro.isa.opcodes import (
+    CUSTOM_OPCODE,
+    Opcode,
+    SetOp,
+    opcode_is_count,
+    opcode_uses_pum,
+)
+from repro.isa.perfmodel import (
+    VariantPrediction,
+    choose_intersection_variant,
+    predict_galloping,
+    predict_streaming,
+)
+from repro.isa.scu import Dispatch, DispatchStats, Scu
+
+__all__ = [
+    "EncodedInstruction",
+    "decode",
+    "encode",
+    "SetMeta",
+    "SetMetadataTable",
+    "CUSTOM_OPCODE",
+    "Opcode",
+    "SetOp",
+    "opcode_is_count",
+    "opcode_uses_pum",
+    "VariantPrediction",
+    "choose_intersection_variant",
+    "predict_galloping",
+    "predict_streaming",
+    "Dispatch",
+    "DispatchStats",
+    "Scu",
+]

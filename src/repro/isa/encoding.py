@@ -1,0 +1,83 @@
+"""RISC-V compliant binary encoding of SISA instructions (paper Fig. 5).
+
+Bit layout of the 32-bit instruction word::
+
+    31      25 24  20 19  15 14 13 12 11   7 6      0
+    [ funct7 ][ rs2 ][ rs1 ][xd][xs1][xs2][ rd ][opcode]
+
+* ``funct7`` (7 bits): the SISA operation identifier (up to 128 ops),
+* ``rs1``/``rs2`` (5 bits each): registers holding input set IDs,
+* ``rd`` (5 bits): register receiving the output set ID,
+* ``xd``/``xs1``/``xs2``: 1 if the corresponding register operand is used,
+* ``opcode`` (7 bits): the RISC-V custom opcode, fixed to 0x16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+from repro.isa.opcodes import CUSTOM_OPCODE, MAX_FUNCT7
+
+
+@dataclass(frozen=True)
+class EncodedInstruction:
+    """Decoded field view of one 32-bit SISA instruction word."""
+
+    funct7: int
+    rs2: int
+    rs1: int
+    xd: bool
+    xs1: bool
+    xs2: bool
+    rd: int
+    opcode: int = CUSTOM_OPCODE
+
+
+def encode(
+    funct7: int,
+    *,
+    rd: int = 0,
+    rs1: int = 0,
+    rs2: int = 0,
+    xd: bool = True,
+    xs1: bool = True,
+    xs2: bool = True,
+) -> int:
+    """Pack fields into a 32-bit instruction word."""
+    if not 0 <= funct7 <= MAX_FUNCT7:
+        raise IsaError(f"funct7 out of range: {funct7}")
+    for name, reg in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
+        if not 0 <= reg < 32:
+            raise IsaError(f"{name} out of range: {reg}")
+    word = 0
+    word |= (funct7 & 0x7F) << 25
+    word |= (rs2 & 0x1F) << 20
+    word |= (rs1 & 0x1F) << 15
+    word |= (1 if xd else 0) << 14
+    word |= (1 if xs1 else 0) << 13
+    word |= (1 if xs2 else 0) << 12
+    word |= (rd & 0x1F) << 7
+    word |= CUSTOM_OPCODE & 0x7F
+    return word
+
+
+def decode(word: int) -> EncodedInstruction:
+    """Unpack a 32-bit instruction word; validates the custom opcode."""
+    if not 0 <= word < (1 << 32):
+        raise IsaError("instruction word must be a 32-bit value")
+    opcode = word & 0x7F
+    if opcode != CUSTOM_OPCODE:
+        raise IsaError(
+            f"not a SISA instruction: opcode 0x{opcode:02x} != 0x{CUSTOM_OPCODE:02x}"
+        )
+    return EncodedInstruction(
+        funct7=(word >> 25) & 0x7F,
+        rs2=(word >> 20) & 0x1F,
+        rs1=(word >> 15) & 0x1F,
+        xd=bool((word >> 14) & 1),
+        xs1=bool((word >> 13) & 1),
+        xs2=bool((word >> 12) & 1),
+        rd=(word >> 7) & 0x1F,
+        opcode=opcode,
+    )

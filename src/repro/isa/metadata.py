@@ -1,0 +1,85 @@
+"""The Set Metadata (SM) structure and set-id management.
+
+The SCU maintains, per logical set ID, the set's representation type,
+cardinality, and location (paper Sections 3 and 8.4).  Set IDs are
+returned by set-creating instructions and used like pointers.  The SM
+is conceptually in memory; the SMB cache (``repro.hw.cache``) makes
+lookups cheap when metadata is hot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import SetError
+from repro.sets.base import Representation, VertexSet
+
+
+@dataclass
+class SetMeta:
+    """One SM entry: what the SCU knows about a set."""
+
+    set_id: int
+    representation: Representation
+    cardinality: int
+    universe: int
+    # A synthetic 'address' so the model can mimic address mapping.
+    address: int
+
+    @property
+    def is_dense(self) -> bool:
+        return self.representation is Representation.DENSE
+
+
+class SetMetadataTable:
+    """Maps logical set IDs to SM entries and to the backing set values."""
+
+    def __init__(self) -> None:
+        self._meta: dict[int, SetMeta] = {}
+        self._values: dict[int, VertexSet] = {}
+        self._ids = itertools.count(1)
+        self._next_address = 0x1000_0000
+
+    def register(self, value: VertexSet) -> int:
+        set_id = next(self._ids)
+        self._meta[set_id] = SetMeta(
+            set_id=set_id,
+            representation=value.representation,
+            cardinality=value.cardinality,
+            universe=value.universe,
+            address=self._next_address,
+        )
+        self._next_address += max(64, value.storage_bits // 8)
+        self._values[set_id] = value
+        return set_id
+
+    def update(self, set_id: int, value: VertexSet) -> None:
+        meta = self.meta(set_id)
+        meta.representation = value.representation
+        meta.cardinality = value.cardinality
+        meta.universe = value.universe
+        self._values[set_id] = value
+
+    def meta(self, set_id: int) -> SetMeta:
+        try:
+            return self._meta[set_id]
+        except KeyError:
+            raise SetError(f"unknown set id {set_id}") from None
+
+    def value(self, set_id: int) -> VertexSet:
+        try:
+            return self._values[set_id]
+        except KeyError:
+            raise SetError(f"unknown set id {set_id}") from None
+
+    def delete(self, set_id: int) -> None:
+        self.meta(set_id)  # raise on unknown ids
+        del self._meta[set_id]
+        del self._values[set_id]
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self._meta
+
+    def __len__(self) -> int:
+        return len(self._meta)

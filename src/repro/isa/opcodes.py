@@ -1,0 +1,96 @@
+"""The SISA instruction set (paper Table 5 plus management instructions).
+
+Table 5 assigns opcodes 0x0-0x6 to the intersection variants and the
+single-element DB updates.  The remaining operations named in Figure 3
+(union/difference variants, cardinality-of-result forms, membership,
+create/delete/clone/insert/remove) are assigned the subsequent opcode
+space; the paper notes "the number of SISA instructions is less than
+20, leaving space for potential new variants" in the 7-bit funct7
+field (up to 128).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SetOp(enum.Enum):
+    """Abstract set operations the ISA implements."""
+
+    INTERSECT = "intersect"
+    UNION = "union"
+    DIFFERENCE = "difference"
+    INTERSECT_COUNT = "intersect_count"
+    UNION_COUNT = "union_count"
+    DIFFERENCE_COUNT = "difference_count"
+    CARDINALITY = "cardinality"
+    MEMBER = "member"
+    INSERT = "insert"
+    REMOVE = "remove"
+    CREATE = "create"
+    DELETE = "delete"
+    CLONE = "clone"
+
+
+class Opcode(enum.IntEnum):
+    """Concrete instruction opcodes (the funct7 field value)."""
+
+    # -- Table 5 ----------------------------------------------------------
+    INTERSECT_SA_SA_MERGE = 0x0
+    INTERSECT_SA_SA_GALLOP = 0x1
+    INTERSECT_SA_SA_AUTO = 0x2  # merge vs. galloping chosen by the SCU
+    INTERSECT_SA_DB = 0x3
+    INTERSECT_DB_DB = 0x4  # in-situ bitwise AND
+    INSERT_DB = 0x5  # A ∪ {x}: set bit
+    REMOVE_DB = 0x6  # A \ {x}: clear bit
+    # -- union / difference variants ---------------------------------------
+    UNION_SA_SA_MERGE = 0x7
+    UNION_SA_DB = 0x8
+    UNION_DB_DB = 0x9  # in-situ bitwise OR
+    DIFFERENCE_SA_SA_MERGE = 0xA
+    DIFFERENCE_SA_SA_GALLOP = 0xB
+    DIFFERENCE_SA_SA_AUTO = 0xC
+    DIFFERENCE_SA_DB = 0xD
+    DIFFERENCE_DB_SA = 0xE
+    DIFFERENCE_DB_DB = 0xF  # in-situ NOT + AND
+    # -- cardinality-of-result forms (avoid materializing, §6.2.3) ---------
+    INTERSECT_COUNT = 0x10
+    UNION_COUNT = 0x11
+    DIFFERENCE_COUNT = 0x12
+    # -- scalar / management -------------------------------------------------
+    CARDINALITY = 0x13
+    MEMBER = 0x14
+    INSERT_SA = 0x15
+    REMOVE_SA = 0x16
+    CREATE = 0x17
+    DELETE = 0x18
+    CLONE = 0x19
+    # CISC-style extension from the paper's Discussion (Section 11):
+    # intersect multiple sets in a single instruction, A1 ∩ ... ∩ Al.
+    INTERSECT_MANY = 0x1A
+
+
+# RISC-V custom-opcode value used in the low 7 bits (paper §6.3.5).
+CUSTOM_OPCODE = 0x16
+
+# Maximum value representable in funct7.
+MAX_FUNCT7 = 0x7F
+
+
+def opcode_uses_pum(opcode: Opcode) -> bool:
+    """Instructions executed by in-situ bulk bitwise PIM (SISA-PUM)."""
+    return opcode in (
+        Opcode.INTERSECT_DB_DB,
+        Opcode.UNION_DB_DB,
+        Opcode.DIFFERENCE_DB_DB,
+        Opcode.INSERT_DB,
+        Opcode.REMOVE_DB,
+    )
+
+
+def opcode_is_count(opcode: Opcode) -> bool:
+    return opcode in (
+        Opcode.INTERSECT_COUNT,
+        Opcode.UNION_COUNT,
+        Opcode.DIFFERENCE_COUNT,
+    )

@@ -1,0 +1,75 @@
+"""The SCU's analytic performance models for set-operation variants.
+
+Section 8.3 of the paper: the runtime of each SISA instruction variant
+is dominated by either *streaming* or *random accesses*:
+
+* streaming (merge):   l_M + W * max(|A|, |B|) / min(b_M, b_L)
+* random (galloping):  l_M * min(|A|, |B|) * log2(max(|A|, |B|))
+
+The SCU evaluates both models from the metadata (sizes and
+representations) and picks the variant with the smaller predicted
+runtime.  A configurable *galloping threshold* (evaluated in Fig. 7b)
+can force the decision by relative size ratio instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class VariantPrediction:
+    """Predicted runtime (cycles) for one instruction variant."""
+
+    variant: str
+    predicted_cycles: float
+
+
+def predict_streaming(config: HardwareConfig, size_a: int, size_b: int) -> float:
+    """Paper model: l_M + W * max(|A|, |B|) / min(b_M, b_L)."""
+    word_bytes = config.word_bits / 8
+    bytes_streamed = word_bytes * max(size_a, size_b)
+    return config.dram_latency_cycles + bytes_streamed / config.stream_bytes_per_cycle
+
+
+def predict_galloping(config: HardwareConfig, size_a: int, size_b: int) -> float:
+    """Paper model: l_M * min * log2(max), with near-memory latency."""
+    small = min(size_a, size_b)
+    big = max(size_a, size_b)
+    if small == 0:
+        return config.dram_latency_cycles
+    return (
+        config.pnm_random_access_cycles
+        * small
+        * max(1.0, math.log2(max(big, 2)))
+    )
+
+
+def choose_intersection_variant(
+    config: HardwareConfig,
+    size_a: int,
+    size_b: int,
+    *,
+    gallop_threshold: float | None = None,
+) -> VariantPrediction:
+    """Pick merge vs. galloping for an SA ∩ SA instruction.
+
+    With ``gallop_threshold`` set (Fig. 7b's sensitivity knob), galloping
+    is used iff one set is at least that many times larger than the
+    other; otherwise the analytic models decide.
+    """
+    stream = predict_streaming(config, size_a, size_b)
+    gallop = predict_galloping(config, size_a, size_b)
+    if gallop_threshold is not None:
+        small = max(1, min(size_a, size_b))
+        big = max(size_a, size_b)
+        use_gallop = big >= gallop_threshold * small
+        if use_gallop:
+            return VariantPrediction("galloping", gallop)
+        return VariantPrediction("merge", stream)
+    if gallop < stream:
+        return VariantPrediction("galloping", gallop)
+    return VariantPrediction("merge", stream)

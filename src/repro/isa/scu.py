@@ -1,0 +1,335 @@
+"""The SISA Controller Unit (SCU).
+
+The SCU receives SISA instructions from the host core, looks up operand
+metadata (through the SMB cache), and schedules execution on the most
+beneficial accelerator (paper Sections 3, 8.2):
+
+* two dense bitvectors  -> SISA-PUM (in-situ bulk bitwise),
+* anything else         -> SISA-PNM (logic-layer cores), with the
+  merge-vs-galloping choice made by the Section 8.3 performance models.
+
+In ``host_fallback`` mode the same decisions are made but the set
+algorithms run on the host CPU model instead of PIM — this is the
+paper's ``_set-based`` baseline (set-centric formulations without
+memory acceleration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.hw.cache import LruCache
+from repro.hw.config import CpuConfig, HardwareConfig
+from repro.hw.cost import Cost
+from repro.hw.cpu import CpuBackend
+from repro.hw.pnm import PnmBackend
+from repro.hw.pum import PumBackend
+from repro.isa.metadata import SetMeta
+from repro.isa.opcodes import Opcode, SetOp
+from repro.isa.perfmodel import choose_intersection_variant
+from repro.sets.base import Representation
+
+
+@dataclass
+class DispatchStats:
+    """Counters the evaluation section reports on."""
+
+    instructions: int = 0
+    pum_ops: int = 0
+    pnm_ops: int = 0
+    host_ops: int = 0
+    merge_picks: int = 0
+    gallop_picks: int = 0
+    by_opcode: dict[Opcode, int] = field(default_factory=dict)
+
+    def record(self, opcode: Opcode) -> None:
+        self.instructions += 1
+        self.by_opcode[opcode] = self.by_opcode.get(opcode, 0) + 1
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Outcome of SCU decision-making for one instruction."""
+
+    opcode: Opcode
+    backend: str  # "pum" | "pnm" | "host"
+    variant: str  # "merge" | "galloping" | "bitwise" | "probe" | "bitwrite" | ...
+    cost: Cost
+
+
+class Scu:
+    """Decides instruction variants and accounts their costs."""
+
+    def __init__(
+        self,
+        hw: HardwareConfig,
+        *,
+        host_fallback: bool = False,
+        cpu: CpuConfig | None = None,
+        gallop_threshold: float | None = None,
+        smb_enabled: bool = True,
+    ):
+        self.hw = hw
+        self.host_fallback = host_fallback
+        self.gallop_threshold = gallop_threshold
+        self.pum = PumBackend(hw)
+        self.pnm = PnmBackend(hw)
+        self.cpu = CpuBackend(cpu or CpuConfig())
+        self.smb = LruCache(hw.smb_entries if smb_enabled else 0)
+        self.stats = DispatchStats()
+
+    # ------------------------------------------------------------------
+    # Metadata access costs
+    # ------------------------------------------------------------------
+
+    def _metadata_cost(self, *set_ids: int) -> Cost:
+        """SCU dispatch plus one SM lookup per operand (SMB-cached).
+
+        A miss is one additional access to the in-memory SM structure;
+        the SM lives near the SCU (logic layer), so the miss pays the
+        near-memory access latency rather than a full off-chip round
+        trip (paper Section 8.4, "Set Metadata").
+        """
+        cost = Cost(compute_cycles=self.hw.scu_dispatch_cycles)
+        for set_id in set_ids:
+            if self.smb.access(set_id):
+                cost += Cost(compute_cycles=self.hw.sm_hit_cycles)
+            else:
+                cost += Cost(latency_cycles=self.hw.pnm_random_access_cycles)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Binary set operations
+    # ------------------------------------------------------------------
+
+    def dispatch_binary(
+        self,
+        op: SetOp,
+        a: SetMeta,
+        b: SetMeta,
+        *,
+        output_size: int = 0,
+        count_only: bool = False,
+    ) -> Dispatch:
+        """Decide and cost a binary set operation ``a op b``."""
+        base = self._metadata_cost(a.set_id, b.set_id)
+        if self.host_fallback:
+            # The host has no SCU/SMB: each set operation starts with a
+            # dependent pointer chase to the operand descriptors.
+            base += Cost(latency_cycles=self.cpu.config.set_op_latency_cycles)
+        both_dense = a.is_dense and b.is_dense
+        if both_dense:
+            dispatch = self._dispatch_dense_pair(op, a, count_only=count_only)
+        elif a.is_dense or b.is_dense:
+            dispatch = self._dispatch_mixed(op, a, b, output_size=output_size)
+        else:
+            dispatch = self._dispatch_sparse_pair(
+                op, a, b, output_size=output_size
+            )
+        self.stats.record(dispatch.opcode)
+        return Dispatch(
+            dispatch.opcode, dispatch.backend, dispatch.variant, base + dispatch.cost
+        )
+
+    def _dispatch_dense_pair(
+        self, op: SetOp, a: SetMeta, *, count_only: bool
+    ) -> Dispatch:
+        universe = a.universe
+        if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+            opcode = Opcode.INTERSECT_COUNT if count_only else Opcode.INTERSECT_DB_DB
+            pim = self.pum.intersect(universe)
+        elif op in (SetOp.UNION, SetOp.UNION_COUNT):
+            opcode = Opcode.UNION_COUNT if count_only else Opcode.UNION_DB_DB
+            pim = self.pum.union(universe)
+        elif op in (SetOp.DIFFERENCE, SetOp.DIFFERENCE_COUNT):
+            opcode = (
+                Opcode.DIFFERENCE_COUNT if count_only else Opcode.DIFFERENCE_DB_DB
+            )
+            pim = self.pum.difference(universe)
+        else:
+            raise IsaError(f"not a binary set operation: {op}")
+        if count_only:
+            pim += self.pum.cardinality_of_result(universe)
+        if self.host_fallback:
+            self.stats.host_ops += 1
+            cost = self.cpu.bitwise(universe, output=not count_only)
+            return Dispatch(opcode, "host", "bitwise", cost)
+        self.stats.pum_ops += 1
+        return Dispatch(opcode, "pum", "bitwise", pim)
+
+    def _dispatch_mixed(
+        self, op: SetOp, a: SetMeta, b: SetMeta, *, output_size: int
+    ) -> Dispatch:
+        sparse = b if a.is_dense else a
+        if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+            opcode = Opcode.INTERSECT_SA_DB
+        elif op in (SetOp.UNION, SetOp.UNION_COUNT):
+            opcode = Opcode.UNION_SA_DB
+        elif op in (SetOp.DIFFERENCE, SetOp.DIFFERENCE_COUNT):
+            opcode = Opcode.DIFFERENCE_DB_SA if a.is_dense else Opcode.DIFFERENCE_SA_DB
+        else:
+            raise IsaError(f"not a binary set operation: {op}")
+        if self.host_fallback:
+            self.stats.host_ops += 1
+            cost = self.cpu.sa_probe_db(sparse.cardinality, output_size=output_size)
+            return Dispatch(opcode, "host", "probe", cost)
+        self.stats.pnm_ops += 1
+        cost = self.pnm.sa_probe_db(sparse.cardinality, output_size=output_size)
+        return Dispatch(opcode, "pnm", "probe", cost)
+
+    def _dispatch_sparse_pair(
+        self, op: SetOp, a: SetMeta, b: SetMeta, *, output_size: int
+    ) -> Dispatch:
+        choice = choose_intersection_variant(
+            self.hw,
+            a.cardinality,
+            b.cardinality,
+            gallop_threshold=self.gallop_threshold,
+        )
+        # Galloping needs a sorted larger operand; fall back to merge if
+        # the larger set is an unsorted auxiliary SA.
+        bigger = a if a.cardinality >= b.cardinality else b
+        if (
+            choice.variant == "galloping"
+            and bigger.representation is Representation.SPARSE_UNSORTED
+        ):
+            choice = choose_intersection_variant(
+                self.hw, a.cardinality, b.cardinality, gallop_threshold=float("inf")
+            )
+        gallop = choice.variant == "galloping"
+        if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+            opcode = (
+                Opcode.INTERSECT_SA_SA_GALLOP if gallop else Opcode.INTERSECT_SA_SA_MERGE
+            )
+        elif op in (SetOp.UNION, SetOp.UNION_COUNT):
+            # Union must touch all elements of both sets; always merge.
+            gallop = False
+            opcode = Opcode.UNION_SA_SA_MERGE
+        elif op in (SetOp.DIFFERENCE, SetOp.DIFFERENCE_COUNT):
+            opcode = (
+                Opcode.DIFFERENCE_SA_SA_GALLOP
+                if gallop
+                else Opcode.DIFFERENCE_SA_SA_MERGE
+            )
+        else:
+            raise IsaError(f"not a binary set operation: {op}")
+        if gallop:
+            self.stats.gallop_picks += 1
+        else:
+            self.stats.merge_picks += 1
+        if self.host_fallback:
+            self.stats.host_ops += 1
+            if gallop:
+                cost = self.cpu.galloping(
+                    a.cardinality, b.cardinality, output_size=output_size
+                )
+            else:
+                cost = self.cpu.merge(
+                    a.cardinality, b.cardinality, output_size=output_size
+                )
+            return Dispatch(opcode, "host", choice.variant, cost)
+        self.stats.pnm_ops += 1
+        if gallop:
+            cost = self.pnm.galloping(
+                a.cardinality, b.cardinality, output_size=output_size
+            )
+        else:
+            cost = self.pnm.streaming(
+                a.cardinality, b.cardinality, output_size=output_size
+            )
+        return Dispatch(opcode, "pnm", choice.variant, cost)
+
+    # ------------------------------------------------------------------
+    # Unary / scalar operations
+    # ------------------------------------------------------------------
+
+    def dispatch_cardinality(self, a: SetMeta) -> Dispatch:
+        """|A| is O(1): the size lives in the metadata (Section 6.2.3)."""
+        cost = self._metadata_cost(a.set_id)
+        self.stats.record(Opcode.CARDINALITY)
+        return Dispatch(Opcode.CARDINALITY, "scu", "metadata", cost)
+
+    def dispatch_member(self, a: SetMeta) -> Dispatch:
+        cost = self._metadata_cost(a.set_id)
+        backend = "host" if self.host_fallback else "pnm"
+        unit = self.cpu if self.host_fallback else self.pnm
+        if a.is_dense:
+            cost += unit.membership_dense()
+        elif a.representation is Representation.SPARSE_SORTED:
+            cost += unit.membership_sorted(a.cardinality)
+        else:
+            cost += unit.membership_unsorted(a.cardinality)
+        if self.host_fallback:
+            self.stats.host_ops += 1
+        else:
+            self.stats.pnm_ops += 1
+        self.stats.record(Opcode.MEMBER)
+        return Dispatch(Opcode.MEMBER, backend, "membership", cost)
+
+    def dispatch_element_update(self, a: SetMeta, *, insert: bool) -> Dispatch:
+        cost = self._metadata_cost(a.set_id)
+        if a.is_dense:
+            opcode = Opcode.INSERT_DB if insert else Opcode.REMOVE_DB
+            if self.host_fallback:
+                self.stats.host_ops += 1
+                cost += self.cpu.bit_write()
+                backend = "host"
+            else:
+                self.stats.pum_ops += 1
+                cost += self.pum.bit_write()
+                backend = "pum"
+            variant = "bitwrite"
+        else:
+            opcode = Opcode.INSERT_SA if insert else Opcode.REMOVE_SA
+            if self.host_fallback:
+                self.stats.host_ops += 1
+                cost += self.cpu.element_update_sa(a.cardinality)
+                backend = "host"
+            else:
+                self.stats.pnm_ops += 1
+                cost += self.pnm.element_update_sa(a.cardinality)
+                backend = "pnm"
+            variant = "shift"
+        self.stats.record(opcode)
+        return Dispatch(opcode, backend, variant, cost)
+
+    def dispatch_create(self, size: int, *, dense: bool, universe: int) -> Dispatch:
+        """Allocate + initialize a set.
+
+        Allocation is a standard ``malloc`` plus an SM entry write
+        (paper Section 8.4, "Life Cycle of a Set"); the data write
+        streams the initial contents.  Empty dense sets are zeroed with
+        one bulk row-clear, so only touched rows count.
+        """
+        bits = self.hw.word_bits * size if not dense else min(
+            universe, max(size, 1) * self.hw.word_bits
+        )
+        cost = Cost(
+            compute_cycles=2 * self.hw.scu_dispatch_cycles,
+            memory_bytes=bits / 8,
+        )
+        self.stats.record(Opcode.CREATE)
+        return Dispatch(Opcode.CREATE, "pnm", "alloc", cost)
+
+    def dispatch_delete(self, a: SetMeta) -> Dispatch:
+        cost = self._metadata_cost(a.set_id)
+        self.smb.invalidate(a.set_id)
+        self.stats.record(Opcode.DELETE)
+        return Dispatch(Opcode.DELETE, "scu", "free", cost)
+
+    def dispatch_clone(self, a: SetMeta) -> Dispatch:
+        """Copy a set.  Dense clones are in-DRAM RowClone copies
+        (row-granular, near-free); sparse clones stream the elements."""
+        if a.is_dense:
+            rows = max(1, a.universe // self.hw.row_size_bits)
+            cost = self._metadata_cost(a.set_id) + Cost(
+                latency_cycles=rows * self.hw.effective_op_latency_cycles
+            )
+        else:
+            cost = self._metadata_cost(a.set_id) + Cost(
+                memory_bytes=a.cardinality * self.hw.word_bits / 8,
+                latency_cycles=self.hw.effective_op_latency_cycles,
+            )
+        self.stats.record(Opcode.CLONE)
+        return Dispatch(Opcode.CLONE, "pnm", "copy", cost)

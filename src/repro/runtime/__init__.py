@@ -1,0 +1,16 @@
+"""The SISA runtime: contexts, set graphs, software layer, traces."""
+
+from repro.runtime.api import CApi, SisaSet, c_api
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+from repro.runtime.trace import Trace, TraceEvent
+
+__all__ = [
+    "CApi",
+    "SisaSet",
+    "c_api",
+    "SisaContext",
+    "SetGraph",
+    "Trace",
+    "TraceEvent",
+]

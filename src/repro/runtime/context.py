@@ -1,0 +1,368 @@
+"""The SISA runtime context: functional execution plus timing simulation.
+
+A :class:`SisaContext` is the entry point for running set-centric
+algorithms.  It plays the role of the whole simulated machine:
+
+* it holds the Set Metadata table and hands out logical set IDs,
+* every set operation runs *functionally* (exact results, via
+  ``repro.sets.kernels``) and is *costed* by the SCU dispatch model,
+* costs land on the simulated thread lane of the currently running
+  task (``repro.hw.engine``), giving deterministic parallel runtimes.
+
+Execution modes (the three bars of the paper's Fig. 6):
+
+* ``mode="sisa"``      — set ops offloaded to PIM (SISA-PUM/PNM),
+* ``mode="cpu-set"``   — same set-centric algorithms, set ops executed
+  by the host CPU model (the ``_set-based`` baseline),
+
+The ``_non-set`` baselines do not use a SisaContext at all; they charge
+a :class:`~repro.baselines.cpu_kernels.CpuCostModel` directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.config import CpuConfig, HardwareConfig
+from repro.hw.cost import Cost
+from repro.hw.engine import EngineReport, ExecutionEngine
+from repro.isa.metadata import SetMetadataTable
+from repro.isa.opcodes import Opcode, SetOp
+from repro.isa.scu import Scu
+from repro.runtime.trace import Trace, TraceEvent
+from repro.sets import kernels
+from repro.sets.base import VertexSet
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+MODES = ("sisa", "cpu-set")
+
+
+class SisaContext:
+    """Simulated machine state for one algorithm run."""
+
+    def __init__(
+        self,
+        *,
+        threads: int = 32,
+        mode: str = "sisa",
+        hw: HardwareConfig | None = None,
+        cpu: CpuConfig | None = None,
+        gallop_threshold: float | None = None,
+        smb_enabled: bool = True,
+        trace: bool = False,
+    ):
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.hw = hw or HardwareConfig()
+        self.cpu = cpu or CpuConfig()
+        self.threads = threads
+        self.scu = Scu(
+            self.hw,
+            host_fallback=(mode == "cpu-set"),
+            cpu=self.cpu,
+            gallop_threshold=gallop_threshold,
+            smb_enabled=smb_enabled,
+        )
+        self.sm = SetMetadataTable()
+        self.trace = Trace(enabled=trace)
+        if mode == "sisa":
+            # Bandwidth proportionality (Tesseract): each lane maps to a
+            # vault whose full bandwidth it enjoys.
+            lanes = min(threads, self.hw.num_vaults)
+            bytes_per_cycle = self.hw.vault_bytes_per_cycle
+            self.engine = ExecutionEngine(lanes, bytes_per_cycle)
+        else:
+            lanes = min(threads, self.cpu.max_threads)
+            bytes_per_cycle = self.cpu.effective_bandwidth_bytes_per_cycle(lanes)
+            self.engine = ExecutionEngine(lanes, bytes_per_cycle)
+        self._current_lane = 0
+
+    # ------------------------------------------------------------------
+    # Task scheduling
+    # ------------------------------------------------------------------
+
+    def begin_task(self) -> int:
+        """Start a parallel task ("[in par]" loop body in the listings)."""
+        self._current_lane = self.engine.begin_task()
+        return self._current_lane
+
+    @contextmanager
+    def task(self) -> Iterator[int]:
+        yield self.begin_task()
+
+    # ------------------------------------------------------------------
+    # Set lifecycle
+    # ------------------------------------------------------------------
+
+    def create_set(
+        self,
+        elements: Iterable[int] | np.ndarray = (),
+        *,
+        universe: int,
+        dense: bool = False,
+        sorted_: bool | None = None,
+        charge: bool = True,
+    ) -> int:
+        """Create a set and return its logical set ID.
+
+        ``dense=True`` requests a dense bitvector.  Auxiliary bitsets
+        are honored on the ``cpu-set`` host baseline too (tuned CPU
+        set-centric codes use std::bitset-style auxiliaries; the paper
+        notes matching Eppstein's bound requires bitvector P and X) —
+        what the host lacks is SISA's *neighborhood* DB representation
+        and the PIM execution of the operations.
+        """
+        if dense:
+            value: VertexSet = DenseBitvector.from_elements(
+                np.asarray(list(elements) if not isinstance(elements, np.ndarray) else elements),
+                universe,
+            )
+        else:
+            value = SparseArray(
+                np.asarray(list(elements) if not isinstance(elements, np.ndarray) else elements),
+                universe,
+                sorted_=sorted_,
+            )
+        return self.register(value, charge=charge)
+
+    def register(self, value: VertexSet, *, charge: bool = True) -> int:
+        """Register an existing set value; optionally charge allocation."""
+        set_id = self.sm.register(value)
+        if charge:
+            dispatch = self.scu.dispatch_create(
+                value.cardinality,
+                dense=isinstance(value, DenseBitvector),
+                universe=value.universe,
+            )
+            self.engine.charge(dispatch.cost)
+        return set_id
+
+    def free(self, set_id: int) -> None:
+        dispatch = self.scu.dispatch_delete(self.sm.meta(set_id))
+        self.engine.charge(dispatch.cost)
+        self.sm.delete(set_id)
+
+    def clone(self, set_id: int) -> int:
+        dispatch = self.scu.dispatch_clone(self.sm.meta(set_id))
+        self.engine.charge(dispatch.cost)
+        return self.sm.register(self.sm.value(set_id))
+
+    def value(self, set_id: int) -> VertexSet:
+        """Raw set value (model-internal; charges nothing)."""
+        return self.sm.value(set_id)
+
+    # ------------------------------------------------------------------
+    # Binary operations
+    # ------------------------------------------------------------------
+
+    def _binary(
+        self, op: SetOp, a: int, b: int, *, count_only: bool
+    ) -> tuple[VertexSet, int]:
+        va, vb = self.sm.value(a), self.sm.value(b)
+        if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+            result = kernels.intersect(va, vb)
+        elif op in (SetOp.UNION, SetOp.UNION_COUNT):
+            result = kernels.union(va, vb)
+        else:
+            result = kernels.difference(va, vb)
+        output_size = 0 if count_only else result.cardinality
+        dispatch = self.scu.dispatch_binary(
+            op,
+            self.sm.meta(a),
+            self.sm.meta(b),
+            output_size=output_size,
+            count_only=count_only,
+        )
+        self.engine.charge(dispatch.cost)
+        self.trace.record(
+            TraceEvent(
+                opcode=dispatch.opcode,
+                lane=self._current_lane,
+                size_a=va.cardinality,
+                size_b=vb.cardinality,
+                output_size=result.cardinality,
+                backend=dispatch.backend,
+                variant=dispatch.variant,
+            )
+        )
+        return result, result.cardinality
+
+    def intersect(self, a: int, b: int) -> int:
+        result, __ = self._binary(SetOp.INTERSECT, a, b, count_only=False)
+        return self.sm.register(result)
+
+    def union(self, a: int, b: int) -> int:
+        result, __ = self._binary(SetOp.UNION, a, b, count_only=False)
+        return self.sm.register(result)
+
+    def difference(self, a: int, b: int) -> int:
+        result, __ = self._binary(SetOp.DIFFERENCE, a, b, count_only=False)
+        return self.sm.register(result)
+
+    def intersect_count(self, a: int, b: int) -> int:
+        __, card = self._binary(SetOp.INTERSECT_COUNT, a, b, count_only=True)
+        return card
+
+    def union_count(self, a: int, b: int) -> int:
+        __, card = self._binary(SetOp.UNION_COUNT, a, b, count_only=True)
+        return card
+
+    def difference_count(self, a: int, b: int) -> int:
+        __, card = self._binary(SetOp.DIFFERENCE_COUNT, a, b, count_only=True)
+        return card
+
+    def intersect_many(self, *set_ids: int) -> int:
+        """CISC-style multi-set intersection ``A1 ∩ ... ∩ Al`` in one
+        instruction (paper Section 11's proposed extension).
+
+        Functionally it folds pairwise intersections smallest-first;
+        its timing advantage over a chain of binary instructions is a
+        single dispatch/metadata phase and no write-back of the
+        intermediate results (they stay in the accelerator).
+        """
+        if len(set_ids) < 2:
+            raise ConfigError("intersect_many needs at least two sets")
+        from repro.isa.metadata import SetMeta
+
+        ordered = sorted(set_ids, key=lambda sid: self.sm.meta(sid).cardinality)
+        values = [self.sm.value(sid) for sid in ordered]
+        result = values[0]
+        total_cost = Cost()
+        sizes_trace = []
+        for sid, value in zip(ordered[1:], values[1:]):
+            # The running intermediate stays inside the accelerator; it
+            # is described by an ephemeral metadata record, not an SM
+            # entry.
+            running_meta = SetMeta(
+                set_id=ordered[0],
+                representation=result.representation,
+                cardinality=result.cardinality,
+                universe=result.universe,
+                address=0,
+            )
+            inter = kernels.intersect(result, value)
+            # Chain step cost: the binary-op cost without the output
+            # write (output_size=0), since the intermediate never
+            # leaves the accelerator.
+            step = self.scu.dispatch_binary(
+                SetOp.INTERSECT,
+                running_meta,
+                self.sm.meta(sid),
+                output_size=0,
+                count_only=False,
+            )
+            sizes_trace.append((result.cardinality, value.cardinality))
+            result = inter
+            total_cost += step.cost
+        # One final output write.
+        total_cost += Cost(
+            memory_bytes=result.cardinality * self.hw.word_bits / 8
+        )
+        self.engine.charge(total_cost)
+        self.trace.record(
+            TraceEvent(
+                opcode=Opcode.INTERSECT_MANY,
+                lane=self._current_lane,
+                size_a=sizes_trace[0][0] if sizes_trace else 0,
+                size_b=sizes_trace[0][1] if sizes_trace else 0,
+                output_size=result.cardinality,
+                backend="pim",
+                variant="chained",
+            )
+        )
+        return self.sm.register(result)
+
+    # In-place variants ("∩=", "∪=", "\\=" in the listings).
+
+    def intersect_into(self, a: int, b: int) -> None:
+        result, __ = self._binary(SetOp.INTERSECT, a, b, count_only=False)
+        self.sm.update(a, result)
+
+    def union_into(self, a: int, b: int) -> None:
+        result, __ = self._binary(SetOp.UNION, a, b, count_only=False)
+        self.sm.update(a, result)
+
+    def difference_into(self, a: int, b: int) -> None:
+        result, __ = self._binary(SetOp.DIFFERENCE, a, b, count_only=False)
+        self.sm.update(a, result)
+
+    # ------------------------------------------------------------------
+    # Scalar / element operations
+    # ------------------------------------------------------------------
+
+    def cardinality(self, set_id: int) -> int:
+        dispatch = self.scu.dispatch_cardinality(self.sm.meta(set_id))
+        self.engine.charge(dispatch.cost)
+        return self.sm.meta(set_id).cardinality
+
+    def member(self, set_id: int, x: int) -> bool:
+        dispatch = self.scu.dispatch_member(self.sm.meta(set_id))
+        self.engine.charge(dispatch.cost)
+        return self.sm.value(set_id).contains(x)
+
+    def insert(self, set_id: int, x: int) -> None:
+        """``A ∪= {x}`` (Table 5 opcode 0x5 for DBs)."""
+        dispatch = self.scu.dispatch_element_update(
+            self.sm.meta(set_id), insert=True
+        )
+        self.engine.charge(dispatch.cost)
+        value = self.sm.value(set_id)
+        self.sm.update(set_id, value.with_element(x))  # type: ignore[attr-defined]
+
+    def remove(self, set_id: int, x: int) -> None:
+        """``A \\= {x}`` (Table 5 opcode 0x6 for DBs)."""
+        dispatch = self.scu.dispatch_element_update(
+            self.sm.meta(set_id), insert=False
+        )
+        self.engine.charge(dispatch.cost)
+        value = self.sm.value(set_id)
+        self.sm.update(set_id, value.without_element(x))  # type: ignore[attr-defined]
+
+    def elements(self, set_id: int) -> np.ndarray:
+        """Iterate a set (the software layer's set iterator): streams
+        the set out of memory once."""
+        value = self.sm.value(set_id)
+        if self.mode == "cpu-set":
+            cost = self.scu.cpu.neighborhood_scan(value.cardinality)
+        else:
+            cost = self.scu.pnm.scan(value.cardinality)
+        self.engine.charge(cost)
+        return value.to_array()
+
+    def is_empty(self, set_id: int) -> bool:
+        return self.cardinality(set_id) == 0
+
+    # ------------------------------------------------------------------
+    # Host-side (non-SISA) work
+    # ------------------------------------------------------------------
+
+    def charge_host(self, cost: Cost) -> None:
+        """Charge non-SISA instruction work (loop control, scoring, ...)."""
+        self.engine.charge(cost)
+
+    def charge_host_ops(self, operations: float) -> None:
+        self.engine.charge(Cost(compute_cycles=operations))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def report(self) -> EngineReport:
+        return self.engine.report()
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.engine.runtime_cycles
+
+    @property
+    def instruction_count(self) -> int:
+        return self.scu.stats.instructions
+
+    def opcode_counts(self) -> dict[Opcode, int]:
+        return dict(self.scu.stats.by_opcode)

@@ -1,0 +1,57 @@
+"""Execution traces of set operations.
+
+The paper gathers "traces of executed set operations" to compare
+full and partial (cut-off) executions (Fig. 9b: histograms of the sizes
+of processed sets per thread).  A :class:`Trace` records one event per
+executed set instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    opcode: Opcode
+    lane: int
+    size_a: int
+    size_b: int
+    output_size: int
+    backend: str
+    variant: str
+
+
+@dataclass
+class Trace:
+    enabled: bool = False
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def set_sizes(self, *, lane: int | None = None) -> np.ndarray:
+        """Sizes of all processed input sets (the Fig. 9b quantity)."""
+        sizes: list[int] = []
+        for event in self.events:
+            if lane is not None and event.lane != lane:
+                continue
+            sizes.append(event.size_a)
+            if event.size_b:
+                sizes.append(event.size_b)
+        return np.asarray(sizes, dtype=np.int64)
+
+    def histogram(
+        self, bins: np.ndarray, *, lane: int | None = None
+    ) -> np.ndarray:
+        sizes = self.set_sizes(lane=lane)
+        counts, __ = np.histogram(sizes, bins=bins)
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)

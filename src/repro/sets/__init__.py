@@ -1,0 +1,16 @@
+"""SISA set representations (sparse arrays, dense bitvectors) and kernels."""
+
+from repro.sets.base import Representation, VertexSet
+from repro.sets.convert import as_representation, to_dense, to_sparse
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+__all__ = [
+    "Representation",
+    "VertexSet",
+    "DenseBitvector",
+    "SparseArray",
+    "as_representation",
+    "to_dense",
+    "to_sparse",
+]

@@ -1,0 +1,74 @@
+"""Abstract vertex-set interface shared by both SISA representations.
+
+The paper represents a set ``S`` of vertices either as a *sparse array*
+(SA: the elements as integers, ``W * |S|`` bits) or as a *dense
+bitvector* (DB: one bit per universe element, ``n`` bits).  Section 6.1,
+Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+
+class Representation(enum.Enum):
+    """How a set is stored (paper Table 5, 'A and B represent.')."""
+
+    SPARSE_SORTED = "sa-sorted"
+    SPARSE_UNSORTED = "sa-unsorted"
+    DENSE = "db"
+
+    @property
+    def is_sparse(self) -> bool:
+        return self is not Representation.DENSE
+
+
+class VertexSet(ABC):
+    """A set of vertex ids drawn from a universe ``{0, ..., universe-1}``."""
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def universe(self) -> int:
+        """Universe size ``n`` (number of representable vertex ids)."""
+
+    @property
+    @abstractmethod
+    def representation(self) -> Representation:
+        """The storage representation of this set."""
+
+    @property
+    @abstractmethod
+    def cardinality(self) -> int:
+        """Number of elements; SISA tracks this in set metadata, so the
+        ``|A|`` instruction is O(1) (Section 6.2.3)."""
+
+    @abstractmethod
+    def to_array(self) -> np.ndarray:
+        """Elements as a sorted int array (materializes for DB sets)."""
+
+    @abstractmethod
+    def contains(self, x: int) -> bool:
+        """Membership ``x in A``."""
+
+    @property
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Size of this representation in bits (paper Fig. 4)."""
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(x) for x in self.to_array())
+
+    def __contains__(self, x: object) -> bool:
+        return isinstance(x, (int, np.integer)) and self.contains(int(x))
+
+    def to_python_set(self) -> set[int]:
+        return {int(x) for x in self.to_array()}

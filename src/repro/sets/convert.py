@@ -1,0 +1,23 @@
+"""Conversions between the SA and DB set representations."""
+
+from __future__ import annotations
+
+from repro.sets.base import VertexSet
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+
+def to_dense(s: VertexSet) -> DenseBitvector:
+    if isinstance(s, DenseBitvector):
+        return s
+    return DenseBitvector.from_elements(s.to_array(), s.universe)
+
+
+def to_sparse(s: VertexSet) -> SparseArray:
+    if isinstance(s, SparseArray):
+        return s
+    return SparseArray.from_sorted(s.to_array(), s.universe)
+
+
+def as_representation(s: VertexSet, dense: bool) -> VertexSet:
+    return to_dense(s) if dense else to_sparse(s)

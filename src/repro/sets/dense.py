@@ -1,0 +1,137 @@
+"""Dense-bitvector (DB) vertex sets.
+
+A DB stores a set over universe ``{0..n-1}`` as ``n`` bits packed into
+64-bit words.  DB pairs are processed with in-situ bulk bitwise PIM
+(SISA-PUM); element add/remove is a single bit write (paper Sections
+6.1, 6.2.4, 8.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SetError
+from repro.sets.base import Representation, VertexSet
+
+WORD = 64
+
+
+def _num_words(universe: int) -> int:
+    return (universe + WORD - 1) // WORD
+
+
+class DenseBitvector(VertexSet):
+    """A vertex set stored as a packed bitvector of ``universe`` bits."""
+
+    __slots__ = ("_words", "_universe", "_cardinality")
+
+    def __init__(self, words: np.ndarray, universe: int, *, cardinality: int | None = None):
+        words = np.asarray(words, dtype=np.uint64)
+        if words.size != _num_words(universe):
+            raise SetError(
+                f"expected {_num_words(universe)} words for universe {universe}, "
+                f"got {words.size}"
+            )
+        # Mask tail bits beyond the universe so popcounts stay correct.
+        tail = universe % WORD
+        if tail and words.size:
+            words = words.copy()
+            words[-1] &= np.uint64((1 << tail) - 1)
+        self._words = words
+        self._universe = int(universe)
+        if cardinality is None:
+            cardinality = int(np.bitwise_count(self._words).sum())
+        self._cardinality = cardinality
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls, universe: int) -> "DenseBitvector":
+        return cls(np.zeros(_num_words(universe), dtype=np.uint64), universe, cardinality=0)
+
+    @classmethod
+    def full(cls, universe: int) -> "DenseBitvector":
+        words = np.full(_num_words(universe), np.uint64(0xFFFFFFFFFFFFFFFF))
+        return cls(words, universe, cardinality=universe)
+
+    @classmethod
+    def from_elements(
+        cls, elements: Iterable[int] | np.ndarray, universe: int
+    ) -> "DenseBitvector":
+        arr = np.asarray(
+            list(elements) if not isinstance(elements, np.ndarray) else elements,
+            dtype=np.int64,
+        ).ravel()
+        if arr.size and (arr.min() < 0 or arr.max() >= universe):
+            raise SetError("element out of universe range")
+        words = np.zeros(_num_words(universe), dtype=np.uint64)
+        if arr.size:
+            arr = np.unique(arr)
+            np.bitwise_or.at(
+                words, arr // WORD, np.uint64(1) << (arr % WORD).astype(np.uint64)
+            )
+        return cls(words, universe, cardinality=int(arr.size))
+
+    # -- VertexSet interface ---------------------------------------------
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @property
+    def representation(self) -> Representation:
+        return Representation.DENSE
+
+    @property
+    def cardinality(self) -> int:
+        return self._cardinality
+
+    @property
+    def words(self) -> np.ndarray:
+        return self._words
+
+    def to_array(self) -> np.ndarray:
+        bits = np.unpackbits(
+            self._words.view(np.uint8), bitorder="little", count=self._universe
+        )
+        return np.flatnonzero(bits).astype(np.int64)
+
+    def contains(self, x: int) -> bool:
+        if not 0 <= x < self._universe:
+            return False
+        word = self._words[x // WORD]
+        return bool((word >> np.uint64(x % WORD)) & np.uint64(1))
+
+    @property
+    def storage_bits(self) -> int:
+        return self._universe
+
+    # -- mutation-as-new-value helpers ------------------------------------
+
+    def with_element(self, x: int) -> "DenseBitvector":
+        """``A | {x}``: a single set-bit (SISA instruction 0x5)."""
+        if not 0 <= x < self._universe:
+            raise SetError("element out of universe range")
+        if self.contains(x):
+            return self
+        words = self._words.copy()
+        words[x // WORD] |= np.uint64(1) << np.uint64(x % WORD)
+        return DenseBitvector(words, self._universe, cardinality=self._cardinality + 1)
+
+    def without_element(self, x: int) -> "DenseBitvector":
+        """``A \\ {x}``: a single clear-bit (SISA instruction 0x6)."""
+        if not self.contains(x):
+            return self
+        words = self._words.copy()
+        words[x // WORD] &= ~(np.uint64(1) << np.uint64(x % WORD))
+        return DenseBitvector(words, self._universe, cardinality=self._cardinality - 1)
+
+    def complement(self) -> "DenseBitvector":
+        """``A'`` via in-situ NOT (used for difference: A \\ B = A & B')."""
+        words = ~self._words
+        return DenseBitvector(words, self._universe)
+
+    def __repr__(self) -> str:
+        return f"DenseBitvector(|A|={self.cardinality}, n={self._universe})"

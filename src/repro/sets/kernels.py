@@ -1,0 +1,211 @@
+"""Functional kernels for set operations across representations.
+
+Each kernel computes the exact result of a set operation for a specific
+pair of representations.  These are the *functional* halves of the SISA
+instructions in Table 5 of the paper; the *timing* halves live in
+``repro.isa.perfmodel``.  Every kernel is pure: inputs are never
+mutated and results are new set objects.
+
+Output-representation convention (matches the paper's Figure 4 flow):
+
+* DB op DB  -> DB (in-situ bulk bitwise),
+* anything involving an SA -> SA (produced by a near-memory core).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SetError
+from repro.sets.base import Representation, VertexSet
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import ELEMENT_DTYPE, SparseArray
+
+
+def _check_universe(a: VertexSet, b: VertexSet) -> int:
+    if a.universe != b.universe:
+        raise SetError(
+            f"universe mismatch: {a.universe} vs {b.universe}"
+        )
+    return a.universe
+
+
+# ---------------------------------------------------------------------------
+# Intersection
+# ---------------------------------------------------------------------------
+
+def intersect_merge(a: SparseArray, b: SparseArray) -> SparseArray:
+    """Merge-based SA intersection: O(|A| + |B|) streaming (opcode 0x0)."""
+    n = _check_universe(a, b)
+    result = np.intersect1d(a.to_array(), b.to_array(), assume_unique=True)
+    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+
+
+def intersect_gallop(a: SparseArray, b: SparseArray) -> SparseArray:
+    """Galloping SA intersection: binary-search the smaller set's
+    elements in the larger set, O(min * log max) (opcode 0x1)."""
+    n = _check_universe(a, b)
+    small, big = (a, b) if a.cardinality <= b.cardinality else (b, a)
+    small_arr = small.elements
+    big_arr = big.to_array()
+    if small_arr.size == 0 or big_arr.size == 0:
+        return SparseArray.empty(n)
+    idx = np.searchsorted(big_arr, small_arr)
+    idx = np.minimum(idx, big_arr.size - 1)
+    hits = small_arr[big_arr[idx] == small_arr]
+    return SparseArray.from_sorted(np.sort(hits), n)
+
+
+def intersect_sa_db(a: SparseArray, b: DenseBitvector) -> SparseArray:
+    """SA ∩ DB: iterate the SA, O(1) bit probes into the DB (opcode 0x3)."""
+    n = _check_universe(a, b)
+    arr = a.elements
+    if arr.size == 0:
+        return SparseArray.empty(n)
+    words = b.words
+    bits = (words[arr // 64] >> (arr % 64).astype(np.uint64)) & np.uint64(1)
+    hits = arr[bits.astype(bool)]
+    return SparseArray.from_sorted(np.sort(hits), n)
+
+
+def intersect_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
+    """DB ∩ DB: in-situ bulk bitwise AND (opcode 0x4)."""
+    n = _check_universe(a, b)
+    return DenseBitvector(a.words & b.words, n)
+
+
+# ---------------------------------------------------------------------------
+# Union
+# ---------------------------------------------------------------------------
+
+def union_merge(a: SparseArray, b: SparseArray) -> SparseArray:
+    n = _check_universe(a, b)
+    result = np.union1d(a.to_array(), b.to_array())
+    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+
+
+def union_sa_db(a: SparseArray, b: DenseBitvector) -> DenseBitvector:
+    """SA ∪ DB: set one bit per SA element (result stays dense)."""
+    n = _check_universe(a, b)
+    words = b.words.copy()
+    arr = a.elements
+    if arr.size:
+        np.bitwise_or.at(
+            words, arr // 64, np.uint64(1) << (arr % 64).astype(np.uint64)
+        )
+    return DenseBitvector(words, n)
+
+
+def union_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
+    """DB ∪ DB: in-situ bulk bitwise OR."""
+    n = _check_universe(a, b)
+    return DenseBitvector(a.words | b.words, n)
+
+
+# ---------------------------------------------------------------------------
+# Difference (A \ B)
+# ---------------------------------------------------------------------------
+
+def difference_merge(a: SparseArray, b: SparseArray) -> SparseArray:
+    n = _check_universe(a, b)
+    result = np.setdiff1d(a.to_array(), b.to_array(), assume_unique=True)
+    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+
+
+def difference_gallop(a: SparseArray, b: SparseArray) -> SparseArray:
+    """Galloping difference: probe each element of A in B."""
+    n = _check_universe(a, b)
+    arr = a.elements
+    b_arr = b.to_array()
+    if arr.size == 0:
+        return SparseArray.empty(n)
+    if b_arr.size == 0:
+        return SparseArray.from_sorted(np.sort(arr), n)
+    idx = np.minimum(np.searchsorted(b_arr, arr), b_arr.size - 1)
+    keep = arr[b_arr[idx] != arr]
+    return SparseArray.from_sorted(np.sort(keep), n)
+
+
+def difference_sa_db(a: SparseArray, b: DenseBitvector) -> SparseArray:
+    """SA \\ DB: iterate A with O(1) bit probes."""
+    n = _check_universe(a, b)
+    arr = a.elements
+    if arr.size == 0:
+        return SparseArray.empty(n)
+    words = b.words
+    bits = (words[arr // 64] >> (arr % 64).astype(np.uint64)) & np.uint64(1)
+    keep = arr[~bits.astype(bool)]
+    return SparseArray.from_sorted(np.sort(keep), n)
+
+
+def difference_db_sa(a: DenseBitvector, b: SparseArray) -> DenseBitvector:
+    """DB \\ SA: clear one bit per SA element."""
+    n = _check_universe(a, b)
+    words = a.words.copy()
+    arr = b.elements
+    if arr.size:
+        np.bitwise_and.at(
+            words, arr // 64, ~(np.uint64(1) << (arr % 64).astype(np.uint64))
+        )
+    return DenseBitvector(words, n)
+
+
+def difference_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
+    """DB \\ DB via the set-algebra rule A \\ B = A ∩ B' (paper §8.1:
+    in-situ NOT then AND)."""
+    n = _check_universe(a, b)
+    return DenseBitvector(a.words & ~b.words, n)
+
+
+# ---------------------------------------------------------------------------
+# Generic dispatch (functional semantics; the SCU handles timing)
+# ---------------------------------------------------------------------------
+
+def intersect(a: VertexSet, b: VertexSet) -> VertexSet:
+    if isinstance(a, DenseBitvector) and isinstance(b, DenseBitvector):
+        return intersect_db_db(a, b)
+    if isinstance(a, SparseArray) and isinstance(b, DenseBitvector):
+        return intersect_sa_db(a, b)
+    if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
+        return intersect_sa_db(b, a)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    return intersect_merge(a, b)
+
+
+def union(a: VertexSet, b: VertexSet) -> VertexSet:
+    if isinstance(a, DenseBitvector) and isinstance(b, DenseBitvector):
+        return union_db_db(a, b)
+    if isinstance(a, SparseArray) and isinstance(b, DenseBitvector):
+        return union_sa_db(a, b)
+    if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
+        return union_sa_db(b, a)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    return union_merge(a, b)
+
+
+def difference(a: VertexSet, b: VertexSet) -> VertexSet:
+    if isinstance(a, DenseBitvector) and isinstance(b, DenseBitvector):
+        return difference_db_db(a, b)
+    if isinstance(a, SparseArray) and isinstance(b, DenseBitvector):
+        return difference_sa_db(a, b)
+    if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
+        return difference_db_sa(a, b)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    return difference_merge(a, b)
+
+
+def intersect_cardinality(a: VertexSet, b: VertexSet) -> int:
+    """``|A ∩ B|`` without materializing the result (paper §6.2.3:
+    dedicated cardinality-of-result instructions avoid intermediates)."""
+    if isinstance(a, DenseBitvector) and isinstance(b, DenseBitvector):
+        return int(np.bitwise_count(a.words & b.words).sum())
+    return intersect(a, b).cardinality
+
+
+def union_cardinality(a: VertexSet, b: VertexSet) -> int:
+    """``|A ∪ B| = |A| + |B| - |A ∩ B|``."""
+    return a.cardinality + b.cardinality - intersect_cardinality(a, b)
+
+
+def difference_cardinality(a: VertexSet, b: VertexSet) -> int:
+    return a.cardinality - intersect_cardinality(a, b)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import gnp_random_graph
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """A hand-built graph with known structure:
+
+        0-1, 0-2, 1-2 (triangle), 2-3, 3-4, 4-5, 5-3 (triangle), 0-5
+    """
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5)]
+    return CSRGraph.from_edges(6, edges)
+
+
+@pytest.fixture
+def random_graph() -> CSRGraph:
+    return gnp_random_graph(50, 0.15, seed=11)
+
+
+@pytest.fixture
+def dense_graph() -> CSRGraph:
+    return gnp_random_graph(30, 0.5, seed=23)
+
+
+def to_networkx(graph: CSRGraph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    nxg.add_edges_from(map(tuple, graph.edge_array()))
+    return nxg
+
+
+@pytest.fixture
+def nx_of():
+    return to_networkx
+
+
+def random_edge_list(n: int, m: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return np.column_stack([src, dst])

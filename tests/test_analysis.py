@@ -1,0 +1,131 @@
+"""Tests for the theoretical analysis (Table 6, Observations 7.1-7.3)
+and the speedup summaries."""
+
+import math
+
+import pytest
+
+from repro.analysis.summaries import summarize_speedups
+from repro.analysis.theory import (
+    bound_kclique_merge,
+    bound_mc_degeneracy,
+    bound_tc_gallop,
+    bound_tc_merge,
+    check_observation_71,
+    check_observation_72,
+    check_observation_73,
+    graph_parameters,
+    merge_work_measured,
+)
+from repro.graphs.generators import (
+    chung_lu_graph,
+    complete_graph,
+    gnp_random_graph,
+    star_graph,
+)
+
+
+class TestObservations:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_observation_71(self, seed):
+        g = gnp_random_graph(60, 0.2, seed=seed)
+        lhs, rhs = check_observation_71(g)
+        assert lhs <= rhs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_observation_72(self, seed):
+        g = chung_lu_graph(200, 1500, seed=seed)
+        lhs, rhs = check_observation_72(g)
+        assert lhs <= rhs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_observation_73(self, seed):
+        g = gnp_random_graph(60, 0.25, seed=seed)
+        lhs, rhs = check_observation_73(g)
+        assert lhs <= rhs
+
+    def test_observations_on_star(self):
+        g = star_graph(50)
+        for check in (
+            check_observation_71,
+            check_observation_72,
+            check_observation_73,
+        ):
+            lhs, rhs = check(g)
+            assert lhs <= rhs
+
+
+class TestBounds:
+    def test_tc_merge_work_within_bound(self):
+        """Measured merge work of oriented TC stays within O(m c)
+        (constant factor 2 from counting both endpoint scans)."""
+        for seed in range(3):
+            g = gnp_random_graph(80, 0.2, seed=seed)
+            measured = merge_work_measured(g)
+            assert measured <= 2 * bound_tc_merge(graph_parameters(g)) + 1
+
+    def test_gallop_bound_exceeds_merge_bound_on_dense(self):
+        params = graph_parameters(complete_graph(30))
+        assert bound_tc_gallop(params) >= bound_tc_merge(params)
+
+    def test_kclique_bound_grows_with_k(self):
+        params = graph_parameters(gnp_random_graph(50, 0.3, seed=1))
+        assert bound_kclique_merge(params, 5) > bound_kclique_merge(params, 4)
+
+    def test_kclique_bad_k(self):
+        from repro.errors import ConfigError
+
+        params = graph_parameters(complete_graph(5))
+        with pytest.raises(ConfigError):
+            bound_kclique_merge(params, 1)
+
+    def test_mc_bound_exponential_in_degeneracy(self):
+        sparse = graph_parameters(star_graph(100))
+        dense = graph_parameters(complete_graph(20))
+        assert bound_mc_degeneracy(dense) > bound_mc_degeneracy(sparse)
+
+    def test_star_graph_parameters(self):
+        params = graph_parameters(star_graph(100))
+        assert params.max_degree == 99
+        assert params.degeneracy == 1
+
+
+class TestSummaries:
+    def test_identical_runtimes_give_one(self):
+        summary = summarize_speedups([1.0, 2.0], [1.0, 2.0])
+        assert summary.speedup_of_avgs == pytest.approx(1.0)
+        assert summary.avg_of_speedups == pytest.approx(1.0)
+
+    def test_uniform_speedup(self):
+        summary = summarize_speedups([10.0, 20.0], [5.0, 10.0])
+        assert summary.speedup_of_avgs == pytest.approx(2.0)
+        assert summary.avg_of_speedups == pytest.approx(2.0)
+
+    def test_mixed_speedups_use_geometric_mean(self):
+        summary = summarize_speedups([4.0, 1.0], [1.0, 1.0])
+        assert summary.avg_of_speedups == pytest.approx(2.0)
+        assert summary.speedup_of_avgs == pytest.approx(2.5)
+
+    def test_paper_footnote_no_mean_inequality(self):
+        """The paper notes the two summaries 'do not satisfy the
+        inequality of means' — either may exceed the other."""
+        one_way = summarize_speedups([4.0, 1.0], [1.0, 1.0])
+        assert one_way.speedup_of_avgs > one_way.avg_of_speedups
+        other_way = summarize_speedups([1.0, 4.0], [0.1, 4.0])
+        assert other_way.speedup_of_avgs < other_way.avg_of_speedups
+
+    def test_empty_lists(self):
+        summary = summarize_speedups([], [])
+        assert summary.speedup_of_avgs == 1.0
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_speedups([1.0], [])
+
+    def test_zero_runtimes_skipped(self):
+        summary = summarize_speedups([0.0, 10.0], [1.0, 5.0])
+        assert summary.avg_of_speedups == pytest.approx(2.0)
+
+    def test_str_format(self):
+        text = str(summarize_speedups([2.0], [1.0]))
+        assert "2.00x" in text

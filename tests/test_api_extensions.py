@@ -1,0 +1,189 @@
+"""Tests for the thin software layer (SisaSet / C API), the CISC
+multi-set intersection extension, and the energy model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.energy import EnergyParameters, estimate_energy
+from repro.isa.opcodes import Opcode
+from repro.runtime.api import SisaSet, c_api
+from repro.runtime.context import SisaContext
+
+UNIVERSE = 200
+
+
+@pytest.fixture
+def ctx():
+    return SisaContext(threads=2, mode="sisa", trace=True)
+
+
+class TestSisaSet:
+    def test_operators_match_python_sets(self, ctx):
+        a = SisaSet.create(ctx, [1, 2, 3, 4], universe=UNIVERSE)
+        b = SisaSet.create(ctx, [3, 4, 5], universe=UNIVERSE)
+        assert set(a & b) == {3, 4}
+        assert set(a | b) == {1, 2, 3, 4, 5}
+        assert set(a - b) == {1, 2}
+
+    def test_count_methods(self, ctx):
+        a = SisaSet.create(ctx, [1, 2, 3], universe=UNIVERSE, dense=True)
+        b = SisaSet.create(ctx, [2, 3, 9], universe=UNIVERSE, dense=True)
+        assert a.intersect_count(b) == 2
+        assert a.union_count(b) == 4
+        assert a.difference_count(b) == 1
+
+    def test_in_place_operators(self, ctx):
+        a = SisaSet.create(ctx, [1, 2, 3], universe=UNIVERSE)
+        b = SisaSet.create(ctx, [2, 3], universe=UNIVERSE)
+        a &= b
+        assert set(a) == {2, 3}
+        a |= SisaSet.create(ctx, [7], universe=UNIVERSE)
+        assert 7 in a
+        a -= b
+        assert set(a) == {7}
+
+    def test_membership_len_iter(self, ctx):
+        a = SisaSet.create(ctx, [5, 1], universe=UNIVERSE)
+        assert 5 in a
+        assert 6 not in a
+        assert "x" not in a
+        assert len(a) == 2
+        assert list(a) == [1, 5]
+
+    def test_insert_remove(self, ctx):
+        a = SisaSet.create(ctx, [], universe=UNIVERSE, dense=True)
+        a.insert(9)
+        assert 9 in a
+        a.remove(9)
+        assert 9 not in a
+
+    def test_clone_and_free(self, ctx):
+        a = SisaSet.create(ctx, [1], universe=UNIVERSE)
+        b = a.clone()
+        b.insert(2)
+        assert len(a) == 1
+        assert len(b) == 2
+        a.free()
+        from repro.errors import SetError
+
+        with pytest.raises(SetError):
+            len(a)
+
+    def test_repr(self, ctx):
+        a = SisaSet.create(ctx, [1], universe=UNIVERSE)
+        assert "SisaSet" in repr(a)
+
+    def test_operations_charge_cycles(self, ctx):
+        a = SisaSet.create(ctx, range(50), universe=UNIVERSE)
+        b = SisaSet.create(ctx, range(25, 75), universe=UNIVERSE)
+        before = ctx.runtime_cycles
+        __ = a & b
+        assert ctx.runtime_cycles > before
+
+
+class TestCApi:
+    def test_c_style_workflow(self, ctx):
+        api = c_api(ctx, UNIVERSE)
+        a = api.create([1, 2, 3])
+        b = api.create([2, 3, 4])
+        inter = api.intersect(a, b)
+        assert api.cardinality(inter) == 2
+        assert api.intersect_count(a, b) == 2
+        assert api.is_member(a, 1)
+        api.insert(a, 9, 10)
+        assert api.cardinality(a) == 5
+        api.remove(a, 9, 10)
+        assert api.cardinality(a) == 3
+        c = api.clone(a)
+        api.delete(a)
+        assert api.cardinality(c) == 3
+        u = api.union(b, c)
+        assert api.cardinality(u) == 4
+
+
+class TestIntersectMany:
+    def test_matches_pairwise_fold(self, ctx):
+        ids = [
+            ctx.create_set(range(start, start + 60), universe=UNIVERSE)
+            for start in (0, 20, 40)
+        ]
+        many = ctx.intersect_many(*ids)
+        expected = set(range(40, 60))
+        assert set(int(v) for v in ctx.elements(many)) == expected
+
+    def test_traces_cisc_opcode(self, ctx):
+        ids = [
+            ctx.create_set(range(i, i + 10), universe=UNIVERSE) for i in (0, 5)
+        ]
+        ctx.intersect_many(*ids)
+        assert any(
+            e.opcode == Opcode.INTERSECT_MANY for e in ctx.trace.events
+        )
+
+    def test_cheaper_than_binary_chain(self):
+        def run(cisc: bool) -> float:
+            ctx = SisaContext(threads=1, mode="sisa")
+            ids = [
+                ctx.create_set(range(i, i + 120), universe=400, dense=False)
+                for i in (0, 30, 60, 90)
+            ]
+            before = ctx.runtime_cycles
+            if cisc:
+                ctx.intersect_many(*ids)
+            else:
+                acc = ctx.intersect(ids[0], ids[1])
+                for other in ids[2:]:
+                    nxt = ctx.intersect(acc, other)
+                    ctx.free(acc)
+                    acc = nxt
+            return ctx.runtime_cycles - before
+
+        assert run(cisc=True) < run(cisc=False)
+
+    def test_needs_two_sets(self, ctx):
+        a = ctx.create_set([1], universe=UNIVERSE)
+        with pytest.raises(ConfigError):
+            ctx.intersect_many(a)
+
+    def test_mixed_representations(self, ctx):
+        a = ctx.create_set(range(0, 100), universe=UNIVERSE, dense=True)
+        b = ctx.create_set(range(50, 150), universe=UNIVERSE, dense=False)
+        c = ctx.create_set(range(75, 125), universe=UNIVERSE, dense=True)
+        many = ctx.intersect_many(a, b, c)
+        assert set(int(v) for v in ctx.elements(many)) == set(range(75, 100))
+
+
+class TestEnergy:
+    def _workload(self, mode: str) -> SisaContext:
+        ctx = SisaContext(threads=4, mode=mode)
+        ids = [
+            ctx.create_set(range(i, i + 80), universe=400, dense=(i % 40 == 0))
+            for i in range(0, 200, 20)
+        ]
+        for i in range(len(ids)):
+            ctx.begin_task()
+            ctx.intersect_count(ids[i], ids[(i + 1) % len(ids)])
+        return ctx
+
+    def test_components_nonnegative(self):
+        report = estimate_energy(self._workload("sisa"))
+        assert report.data_movement_nj >= 0
+        assert report.compute_nj >= 0
+        assert report.insitu_nj >= 0
+        assert report.total_nj > 0
+
+    def test_sisa_more_efficient_than_host(self):
+        """The paper's energy argument: PIM avoids off-chip movement."""
+        sisa = estimate_energy(self._workload("sisa"))
+        host = estimate_energy(self._workload("cpu-set"))
+        assert sisa.total_nj < host.total_nj
+
+    def test_parameters_scale_linearly(self):
+        ctx = self._workload("sisa")
+        base = estimate_energy(ctx)
+        doubled = estimate_energy(
+            ctx, EnergyParameters(nearmem_pj_per_byte=8.0)
+        )
+        assert doubled.data_movement_nj == pytest.approx(
+            2 * base.data_movement_nj
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the SisaContext runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SetError
+from repro.runtime.context import SisaContext
+
+
+@pytest.fixture
+def ctx():
+    return SisaContext(threads=4, mode="sisa")
+
+
+class TestLifecycle:
+    def test_create_and_read(self, ctx):
+        sid = ctx.create_set([3, 1, 2], universe=10)
+        assert ctx.cardinality(sid) == 3
+        assert list(ctx.elements(sid)) == [1, 2, 3]
+
+    def test_create_dense(self, ctx):
+        sid = ctx.create_set([1, 2], universe=10, dense=True)
+        assert ctx.sm.meta(sid).is_dense
+
+    def test_cpu_mode_honors_dense_auxiliaries(self):
+        ctx = SisaContext(threads=2, mode="cpu-set")
+        sid = ctx.create_set([1], universe=10, dense=True)
+        assert ctx.sm.meta(sid).is_dense
+
+    def test_free(self, ctx):
+        sid = ctx.create_set([1], universe=10)
+        ctx.free(sid)
+        with pytest.raises(SetError):
+            ctx.cardinality(sid)
+
+    def test_clone_independent(self, ctx):
+        sid = ctx.create_set([1, 2], universe=10, dense=True)
+        copy = ctx.clone(sid)
+        ctx.insert(copy, 5)
+        assert ctx.cardinality(sid) == 2
+        assert ctx.cardinality(copy) == 3
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            SisaContext(mode="gpu")
+
+
+class TestOperations:
+    def test_intersect(self, ctx):
+        a = ctx.create_set([1, 2, 3], universe=10)
+        b = ctx.create_set([2, 3, 4], universe=10)
+        c = ctx.intersect(a, b)
+        assert list(ctx.elements(c)) == [2, 3]
+
+    def test_union(self, ctx):
+        a = ctx.create_set([1], universe=10)
+        b = ctx.create_set([2], universe=10)
+        assert ctx.cardinality(ctx.union(a, b)) == 2
+
+    def test_difference(self, ctx):
+        a = ctx.create_set([1, 2, 3], universe=10)
+        b = ctx.create_set([2], universe=10)
+        assert list(ctx.elements(ctx.difference(a, b))) == [1, 3]
+
+    def test_counts_match_materialized(self, ctx):
+        a = ctx.create_set([1, 2, 3, 7], universe=10, dense=True)
+        b = ctx.create_set([2, 3, 9], universe=10, dense=True)
+        assert ctx.intersect_count(a, b) == 2
+        assert ctx.union_count(a, b) == 5
+        assert ctx.difference_count(a, b) == 2
+
+    def test_in_place_variants(self, ctx):
+        a = ctx.create_set([1, 2, 3], universe=10)
+        b = ctx.create_set([2, 3], universe=10)
+        ctx.intersect_into(a, b)
+        assert list(ctx.elements(a)) == [2, 3]
+        ctx.union_into(a, ctx.create_set([9], universe=10))
+        assert 9 in list(ctx.elements(a))
+        ctx.difference_into(a, b)
+        assert list(ctx.elements(a)) == [9]
+
+    def test_member(self, ctx):
+        a = ctx.create_set([5], universe=10)
+        assert ctx.member(a, 5)
+        assert not ctx.member(a, 6)
+
+    def test_insert_remove(self, ctx):
+        a = ctx.create_set([], universe=10, dense=True)
+        ctx.insert(a, 4)
+        assert ctx.member(a, 4)
+        ctx.remove(a, 4)
+        assert not ctx.member(a, 4)
+
+    def test_mixed_representation_ops(self, ctx):
+        a = ctx.create_set([1, 2, 3], universe=10, dense=True)
+        b = ctx.create_set([2, 3, 4], universe=10, dense=False)
+        assert ctx.intersect_count(a, b) == 2
+
+
+class TestTiming:
+    def test_cycles_accumulate(self, ctx):
+        a = ctx.create_set(range(100), universe=1000)
+        b = ctx.create_set(range(50, 150), universe=1000)
+        before = ctx.runtime_cycles
+        ctx.intersect_count(a, b)
+        assert ctx.runtime_cycles > before
+
+    def test_instruction_counting(self, ctx):
+        a = ctx.create_set([1], universe=10)
+        b = ctx.create_set([2], universe=10)
+        base = ctx.instruction_count
+        ctx.intersect_count(a, b)
+        ctx.cardinality(a)
+        assert ctx.instruction_count == base + 2
+
+    def test_deterministic(self):
+        def run():
+            ctx = SisaContext(threads=4, mode="sisa")
+            a = ctx.create_set(range(50), universe=100, dense=True)
+            b = ctx.create_set(range(25, 75), universe=100, dense=True)
+            for __ in range(10):
+                ctx.begin_task()
+                ctx.intersect_count(a, b)
+            return ctx.runtime_cycles
+
+        assert run() == run()
+
+    def test_more_threads_not_slower(self):
+        def run(threads):
+            ctx = SisaContext(threads=threads, mode="sisa")
+            sets = [
+                ctx.create_set(range(i, i + 60), universe=200) for i in range(40)
+            ]
+            for i in range(40):
+                ctx.begin_task()
+                ctx.intersect_count(sets[i], sets[(i + 1) % 40])
+            return ctx.runtime_cycles
+
+        assert run(8) <= run(1)
+
+    def test_trace_records_events(self):
+        ctx = SisaContext(threads=1, mode="sisa", trace=True)
+        a = ctx.create_set([1, 2], universe=10)
+        b = ctx.create_set([2, 3], universe=10)
+        ctx.intersect_count(a, b)
+        assert len(ctx.trace) == 1
+        event = ctx.trace.events[0]
+        assert event.size_a == 2
+        assert event.size_b == 2
+        assert event.output_size == 1
+
+    def test_report_stall_fractions(self, ctx):
+        ctx.begin_task()
+        a = ctx.create_set(range(64), universe=256)
+        b = ctx.create_set(range(32, 96), universe=256)
+        ctx.intersect(a, b)
+        report = ctx.report()
+        assert len(report.stall_fractions) == 4
+        assert all(0.0 <= f <= 1.0 for f in report.stall_fractions)

@@ -1,0 +1,121 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, small_graph):
+        assert small_graph.num_vertices == 6
+        assert small_graph.num_edges == 8
+
+    def test_neighbors_sorted(self, small_graph):
+        for v in range(small_graph.num_vertices):
+            nbrs = small_graph.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_duplicate_edges_removed(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+
+    def test_zero_vertices(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, [(-1, 0)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(-1, [])
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+
+class TestAccessors:
+    def test_degrees(self, small_graph):
+        assert small_graph.degree(0) == 3
+        assert small_graph.degree(2) == 3
+        assert int(small_graph.degrees.sum()) == 2 * small_graph.num_edges
+
+    def test_max_degree(self, small_graph):
+        assert small_graph.max_degree == 3
+
+    def test_has_edge_symmetric(self, small_graph):
+        assert small_graph.has_edge(0, 1)
+        assert small_graph.has_edge(1, 0)
+        assert not small_graph.has_edge(0, 4)
+
+    def test_neighbors_out_of_range(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.neighbors(100)
+
+    def test_edges_each_once(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges
+        assert all(u < v for u, v in edges)
+
+    def test_edge_array_matches_edges(self, small_graph):
+        arr = small_graph.edge_array()
+        assert sorted(map(tuple, arr)) == sorted(small_graph.edges())
+
+    def test_vertices_range(self, small_graph):
+        assert list(small_graph.vertices()) == list(range(6))
+
+
+class TestDerived:
+    def test_subgraph_triangle(self, small_graph):
+        sub = small_graph.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_relabels(self, small_graph):
+        sub = small_graph.subgraph([3, 4, 5])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # the 3-4-5 triangle
+
+    def test_subgraph_empty_selection(self, small_graph):
+        sub = small_graph.subgraph([])
+        assert sub.num_vertices == 0
+
+    def test_subgraph_out_of_range(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.subgraph([99])
+
+    def test_equality(self, small_graph):
+        other = CSRGraph.from_edges(
+            6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5)]
+        )
+        assert small_graph == other
+
+    def test_inequality(self, small_graph):
+        other = CSRGraph.from_edges(6, [(0, 1)])
+        assert small_graph != other
+
+    def test_repr(self, small_graph):
+        assert "n=6" in repr(small_graph)

@@ -1,0 +1,82 @@
+"""Unit tests for the Table 7 dataset stand-ins."""
+
+import pytest
+
+from repro.datasets import dataset_names, dataset_spec, load
+from repro.datasets.registry import BIO, DIMACS, INTERACTION, SOCIAL
+from repro.errors import DatasetError
+from repro.graphs.properties import degree_stats, is_heavy_tailed
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = dataset_names()
+        # The Table 7 suite: 20 small + 6 large graphs.
+        assert len(names) == 26
+        for required in (
+            "bio-SC-GT",
+            "int-antCol3-d1",
+            "econ-beacxc",
+            "soc-fbMsg",
+            "dimacs-c500-9",
+            "soc-orkut",
+            "bio-humanGene",
+        ):
+            assert required in names
+
+    def test_small_large_split(self):
+        assert len(dataset_names(large=False)) == 20
+        assert len(dataset_names(large=True)) == 6
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("nope")
+        with pytest.raises(DatasetError):
+            load("nope")
+
+    def test_specs_record_scaling(self):
+        spec = dataset_spec("soc-orkut")
+        assert spec.large
+        assert spec.scale > 1
+        assert spec.num_vertices == max(64, spec.paper_vertices // spec.scale)
+
+
+class TestGeneratedGraphs:
+    def test_deterministic(self):
+        assert load("bio-SC-GT") is load("bio-SC-GT")  # cached
+        g1 = load("soc-fbMsg")
+        load.cache_clear()
+        g2 = load("soc-fbMsg")
+        assert g1 == g2
+
+    def test_small_graph_sizes_match_paper(self):
+        for name in ("bio-SC-GT", "econ-beacxc", "int-antCol3-d1"):
+            spec = dataset_spec(name)
+            g = load(name)
+            assert g.num_vertices == spec.paper_vertices
+            # Edge counts are sampled; allow a generous band.
+            assert g.num_edges > 0.3 * spec.paper_edges
+
+    def test_regimes_have_expected_structure(self):
+        assert dataset_spec("bio-SC-GT").regime == BIO
+        assert dataset_spec("int-antCol3-d1").regime == INTERACTION
+        assert dataset_spec("soc-fbMsg").regime == SOCIAL
+        assert dataset_spec("dimacs-c500-9").regime == DIMACS
+
+    def test_bio_graphs_are_heavy_tailed(self):
+        assert is_heavy_tailed(load("bio-SC-GT"))
+        assert is_heavy_tailed(load("bio-CE-PG"))
+
+    def test_interaction_graphs_are_dense(self):
+        g = load("int-antCol3-d1")
+        density = g.num_edges / (g.num_vertices * (g.num_vertices - 1) / 2)
+        assert density > 0.5
+
+    def test_dimacs_is_very_dense(self):
+        g = load("dimacs-c500-9")
+        density = g.num_edges / (g.num_vertices * (g.num_vertices - 1) / 2)
+        assert density > 0.85
+
+    def test_scientific_is_light_tailed(self):
+        stats = degree_stats(load("sc-pwtk"))
+        assert stats.max_degree_fraction < 0.05

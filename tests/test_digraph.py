@@ -1,0 +1,76 @@
+"""Unit tests for directed graphs and order-based orientation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.generators import gnp_random_graph
+from repro.graphs.orientation import degeneracy_order
+
+
+class TestDiGraph:
+    def test_from_arcs(self):
+        dg = DiGraph.from_arcs(3, [(0, 1), (1, 2), (0, 2)])
+        assert dg.num_arcs == 3
+        assert list(dg.out_neighbors(0)) == [1, 2]
+        assert list(dg.out_neighbors(2)) == []
+
+    def test_duplicate_arcs_removed(self):
+        dg = DiGraph.from_arcs(2, [(0, 1), (0, 1)])
+        assert dg.num_arcs == 1
+
+    def test_arcs_are_directed(self):
+        dg = DiGraph.from_arcs(2, [(0, 1)])
+        assert dg.has_arc(0, 1)
+        assert not dg.has_arc(1, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_arcs(2, [(0, 3)])
+
+    def test_out_neighbors_sorted(self):
+        dg = DiGraph.from_arcs(5, [(0, 4), (0, 2), (0, 3)])
+        assert list(dg.out_neighbors(0)) == [2, 3, 4]
+
+    def test_empty(self):
+        dg = DiGraph.from_arcs(3, [])
+        assert dg.num_arcs == 0
+        assert dg.max_out_degree == 0
+
+
+class TestOrientation:
+    def test_orient_preserves_edge_count(self):
+        g = gnp_random_graph(40, 0.2, seed=1)
+        order = degeneracy_order(g).order
+        dg = orient_by_order(g, order)
+        assert dg.num_arcs == g.num_edges
+
+    def test_orient_is_acyclic_by_rank(self):
+        g = gnp_random_graph(30, 0.3, seed=2)
+        order = degeneracy_order(g).order
+        rank = np.empty(g.num_vertices, dtype=np.int64)
+        rank[order] = np.arange(g.num_vertices)
+        dg = orient_by_order(g, order)
+        for v in range(dg.num_vertices):
+            for w in dg.out_neighbors(v):
+                assert rank[v] < rank[int(w)]
+
+    def test_degeneracy_bounds_out_degree(self):
+        g = gnp_random_graph(40, 0.25, seed=3)
+        result = degeneracy_order(g)
+        dg = orient_by_order(g, result.order)
+        assert dg.max_out_degree <= result.degeneracy
+
+    def test_bad_order_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            orient_by_order(g, np.array([0, 0, 1]))
+
+    def test_identity_order(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        dg = orient_by_order(g, np.array([0, 1, 2]))
+        assert dg.has_arc(0, 1)
+        assert dg.has_arc(1, 2)
+        assert not dg.has_arc(2, 1)

@@ -1,0 +1,94 @@
+"""Unit + property tests for the RISC-V instruction encoding (Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.encoding import decode, encode
+from repro.isa.opcodes import CUSTOM_OPCODE, MAX_FUNCT7, Opcode
+
+
+class TestEncode:
+    def test_opcode_field_is_custom(self):
+        word = encode(0x4, rd=1, rs1=2, rs2=3)
+        assert word & 0x7F == CUSTOM_OPCODE
+
+    def test_known_layout(self):
+        word = encode(0x1, rd=5, rs1=10, rs2=20, xd=True, xs1=True, xs2=False)
+        assert (word >> 25) & 0x7F == 0x1
+        assert (word >> 20) & 0x1F == 20
+        assert (word >> 15) & 0x1F == 10
+        assert (word >> 14) & 1 == 1
+        assert (word >> 13) & 1 == 1
+        assert (word >> 12) & 1 == 0
+        assert (word >> 7) & 0x1F == 5
+
+    def test_funct7_out_of_range(self):
+        with pytest.raises(IsaError):
+            encode(MAX_FUNCT7 + 1)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(IsaError):
+            encode(0, rd=32)
+        with pytest.raises(IsaError):
+            encode(0, rs1=-1)
+
+    def test_fits_in_32_bits(self):
+        word = encode(MAX_FUNCT7, rd=31, rs1=31, rs2=31)
+        assert 0 <= word < (1 << 32)
+
+
+class TestDecode:
+    def test_rejects_non_sisa_opcode(self):
+        with pytest.raises(IsaError):
+            decode(0x33)  # a standard RISC-V OP instruction
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(IsaError):
+            decode(1 << 32)
+
+    @given(
+        st.integers(0, MAX_FUNCT7),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, funct7, rd, rs1, rs2, xd, xs1, xs2):
+        word = encode(funct7, rd=rd, rs1=rs1, rs2=rs2, xd=xd, xs1=xs1, xs2=xs2)
+        fields = decode(word)
+        assert fields.funct7 == funct7
+        assert fields.rd == rd
+        assert fields.rs1 == rs1
+        assert fields.rs2 == rs2
+        assert fields.xd == xd
+        assert fields.xs1 == xs1
+        assert fields.xs2 == xs2
+        assert fields.opcode == CUSTOM_OPCODE
+
+
+class TestOpcodeSpace:
+    def test_table5_opcodes(self):
+        """Table 5 of the paper fixes opcodes 0x0-0x6."""
+        assert Opcode.INTERSECT_SA_SA_MERGE == 0x0
+        assert Opcode.INTERSECT_SA_SA_GALLOP == 0x1
+        assert Opcode.INTERSECT_SA_SA_AUTO == 0x2
+        assert Opcode.INTERSECT_SA_DB == 0x3
+        assert Opcode.INTERSECT_DB_DB == 0x4
+        assert Opcode.INSERT_DB == 0x5
+        assert Opcode.REMOVE_DB == 0x6
+
+    def test_under_twenty_core_instructions(self):
+        """The paper: 'The number of SISA instructions is less than 20'
+        for the core set, within the 128-slot funct7 space."""
+        assert len(Opcode) <= 32
+        assert max(Opcode) <= MAX_FUNCT7
+
+    def test_all_opcodes_encodable(self):
+        for opcode in Opcode:
+            fields = decode(encode(int(opcode), rd=1, rs1=2, rs2=3))
+            assert fields.funct7 == int(opcode)

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    bipartite_core_graph,
+    chung_lu_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    kronecker_graph,
+    near_complete_graph,
+    path_graph,
+    planted_clique_graph,
+    power_law_weights,
+    star_graph,
+)
+
+
+class TestGnp:
+    def test_determinism(self):
+        a = gnp_random_graph(50, 0.2, seed=4)
+        b = gnp_random_graph(50, 0.2, seed=4)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = gnp_random_graph(50, 0.2, seed=4)
+        b = gnp_random_graph(50, 0.2, seed=5)
+        assert a != b
+
+    def test_p_zero(self):
+        assert gnp_random_graph(20, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        g = gnp_random_graph(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(10, 1.5)
+
+    def test_edge_count_near_expectation(self):
+        g = gnp_random_graph(100, 0.3, seed=7)
+        expected = 0.3 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.15 * expected
+
+
+class TestChungLu:
+    def test_reaches_target_edges(self):
+        g = chung_lu_graph(300, 2000, seed=1)
+        assert abs(g.num_edges - 2000) <= 200
+
+    def test_heavy_tail_when_gamma_small(self):
+        heavy = chung_lu_graph(400, 3000, gamma=1.9, seed=2)
+        light = chung_lu_graph(400, 3000, gamma=3.5, seed=2)
+        assert heavy.max_degree > light.max_degree
+
+    def test_weights_monotone(self):
+        w = power_law_weights(100, 2.2)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_weights_capped(self):
+        w = power_law_weights(1000, 1.9, max_weight_fraction=0.35)
+        assert w.max() <= 0.35 * 1000
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(GraphError):
+            power_law_weights(10, 1.0)
+
+    def test_empty_when_no_target(self):
+        assert chung_lu_graph(10, 0, seed=0).num_edges == 0
+
+
+class TestPlantedCliques:
+    def test_contains_a_planted_clique(self):
+        g = planted_clique_graph(200, 1500, num_cliques=4, clique_size=10, seed=3)
+        # At least one vertex has degree >= clique_size - 1.
+        assert g.max_degree >= 9
+
+    def test_determinism(self):
+        a = planted_clique_graph(100, 800, seed=5)
+        b = planted_clique_graph(100, 800, seed=5)
+        assert a == b
+
+
+class TestOtherShapes:
+    def test_bipartite_core(self):
+        g = bipartite_core_graph(100, 600, core_fraction=0.2, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges > 0
+
+    def test_near_complete(self):
+        g = near_complete_graph(30, missing_fraction=0.1, seed=0)
+        density = g.num_edges / (30 * 29 / 2)
+        assert density > 0.8
+
+    def test_star(self):
+        g = star_graph(10)
+        assert g.num_edges == 9
+        assert g.max_degree == 9
+
+    def test_star_too_small(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+
+    def test_complete(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_edges == 8
+        assert g.max_degree == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        g = kronecker_graph(8, 8, seed=1)
+        assert g.num_vertices == 256
+
+    def test_edge_count_bounded(self):
+        g = kronecker_graph(8, 8, seed=1)
+        assert 0 < g.num_edges <= 8 * 256
+
+    def test_determinism(self):
+        assert kronecker_graph(7, 4, seed=2) == kronecker_graph(7, 4, seed=2)
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError):
+            kronecker_graph(0, 4)
+
+    def test_skewed_degrees(self):
+        g = kronecker_graph(10, 16, seed=3)
+        degrees = g.degrees
+        assert degrees.max() > 4 * max(1.0, float(np.median(degrees)))

@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ResultTable, run_three_variants
+
+
+class TestResultTable:
+    def test_add_and_lookup(self):
+        table = ResultTable("t")
+        table.add("tc", "g1", "sisa", 2e6)
+        table.add("tc", "g1", "non-set", 4e6)
+        assert table.runtimes("tc", "sisa") == [2.0]
+        assert table.problems() == ["tc"]
+        assert table.variants() == ["sisa", "non-set"]
+        assert table.graphs_for("tc") == ["g1"]
+
+    def test_summary_speedups(self):
+        table = ResultTable("t")
+        for graph, nonset, sisa in [("g1", 8e6, 2e6), ("g2", 4e6, 2e6)]:
+            table.add("tc", graph, "non-set", nonset)
+            table.add("tc", graph, "sisa", sisa)
+        summary = table.summary("tc", "non-set", "sisa")
+        assert summary.speedup_of_avgs == pytest.approx(3.0)
+        assert summary.avg_of_speedups == pytest.approx(2.0 * 2**0.5)
+
+    def test_print_does_not_crash(self, capsys):
+        table = ResultTable("demo")
+        table.add("tc", "g1", "sisa", 1e6)
+        table.add("tc", "g1", "non-set", 3e6)
+        table.print_all()
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "g1" in out
+        assert "sisa over non-set" in out
+
+
+class TestRunThreeVariants:
+    def test_records_all_variants(self):
+        table = ResultTable("t")
+        run_three_variants(
+            "p",
+            "g",
+            table,
+            nonset=lambda: (42, 3e6),
+            set_based=lambda: (42, 2e6),
+            sisa=lambda: (42, 1e6),
+        )
+        assert len(table.cells) == 3
+        assert table.runtimes("p", "sisa") == [1.0]
+
+    def test_output_mismatch_raises(self):
+        table = ResultTable("t")
+        with pytest.raises(AssertionError):
+            run_three_variants(
+                "p",
+                "g",
+                table,
+                nonset=lambda: (1, 3e6),
+                set_based=lambda: (2, 2e6),
+                sisa=lambda: (1, 1e6),
+            )
+
+    def test_mismatch_allowed_when_unchecked(self):
+        table = ResultTable("t")
+        run_three_variants(
+            "p",
+            "g",
+            table,
+            nonset=None,
+            set_based=lambda: (2, 2e6),
+            sisa=lambda: (1, 1e6),
+            check_outputs=False,
+        )
+        assert len(table.cells) == 2

@@ -1,0 +1,222 @@
+"""Unit tests for the hardware timing models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cache import LruCache
+from repro.hw.config import CpuConfig, HardwareConfig, commodity_cpu_config
+from repro.hw.cost import Cost, ZERO_COST
+from repro.hw.cpu import CpuBackend
+from repro.hw.engine import ExecutionEngine
+from repro.hw.pnm import PnmBackend
+from repro.hw.pum import PumBackend
+
+
+class TestConfig:
+    def test_unit_conversions(self):
+        hw = HardwareConfig(clock_ghz=2.0, dram_latency_ns=50.0)
+        assert hw.dram_latency_cycles == 100.0
+        assert hw.ns_to_cycles(10) == 20.0
+
+    def test_pipelining_reduces_latency(self):
+        hw = HardwareConfig(pipeline_depth=4.0)
+        assert hw.effective_op_latency_cycles == hw.dram_latency_cycles / 4
+
+    def test_stream_bottleneck_is_min(self):
+        hw = HardwareConfig(
+            vault_bandwidth_gbs=16.0, interconnect_bandwidth_gbs=8.0
+        )
+        assert hw.stream_bytes_per_cycle == hw.interconnect_bytes_per_cycle
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(clock_ghz=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(num_vaults=0)
+        with pytest.raises(ConfigError):
+            CpuConfig(max_threads=0)
+
+    def test_cpu_bandwidth_contention(self):
+        cpu = commodity_cpu_config()
+        at_1 = cpu.effective_bandwidth_bytes_per_cycle(1)
+        at_8 = cpu.effective_bandwidth_bytes_per_cycle(8)
+        at_32 = cpu.effective_bandwidth_bytes_per_cycle(32)
+        assert at_1 == at_8  # scales linearly up to the knee
+        assert at_32 == pytest.approx(at_8 / 4)  # flat beyond it
+
+    def test_default_cpu_is_pim_matched(self):
+        cpu = CpuConfig()
+        assert cpu.effective_bandwidth_bytes_per_cycle(
+            32
+        ) == cpu.effective_bandwidth_bytes_per_cycle(1)
+
+
+class TestCost:
+    def test_addition(self):
+        total = Cost(1, 2, 3) + Cost(4, 5, 6)
+        assert total == Cost(5, 7, 9)
+
+    def test_scaling(self):
+        assert Cost(1, 2, 3).scaled(2) == Cost(2, 4, 6)
+
+    def test_cycles_with_bandwidth(self):
+        assert Cost(10, 80, 5).cycles(8.0) == 10 + 5 + 10
+
+    def test_zero(self):
+        assert ZERO_COST.cycles(1.0) == 0.0
+
+
+class TestPum:
+    def test_cost_independent_of_cardinality(self):
+        """The defining PUM property: only the universe size matters."""
+        pum = PumBackend(HardwareConfig())
+        assert pum.intersect(10_000) == pum.intersect(10_000)
+
+    def test_cost_scales_with_universe(self):
+        hw = HardwareConfig()
+        pum = PumBackend(hw)
+        small = pum.intersect(hw.row_size_bits)
+        large = pum.intersect(hw.row_size_bits * hw.parallel_rows * 8)
+        assert large.latency_cycles > small.latency_cycles
+
+    def test_difference_needs_two_ops(self):
+        pum = PumBackend(HardwareConfig())
+        assert (
+            pum.difference(1_000_000).latency_cycles
+            > pum.intersect(1_000_000).latency_cycles
+        )
+
+    def test_bit_write_is_single_access(self):
+        hw = HardwareConfig()
+        pum = PumBackend(hw)
+        assert pum.bit_write().latency_cycles == hw.effective_op_latency_cycles
+
+
+class TestPnm:
+    def test_streaming_monotone_in_size(self):
+        pnm = PnmBackend(HardwareConfig())
+        small = pnm.streaming(10, 10)
+        large = pnm.streaming(1000, 1000)
+        assert large.compute_cycles > small.compute_cycles
+        assert large.memory_bytes > small.memory_bytes
+
+    def test_galloping_beats_streaming_for_skewed_sizes(self):
+        hw = HardwareConfig()
+        pnm = PnmBackend(hw)
+        bw = hw.vault_bytes_per_cycle
+        stream = pnm.streaming(5, 100_000).cycles(bw)
+        gallop = pnm.galloping(5, 100_000).cycles(bw)
+        assert gallop < stream
+
+    def test_streaming_beats_galloping_for_similar_sizes(self):
+        hw = HardwareConfig()
+        pnm = PnmBackend(hw)
+        bw = hw.vault_bytes_per_cycle
+        stream = pnm.streaming(5000, 5000).cycles(bw)
+        gallop = pnm.galloping(5000, 5000).cycles(bw)
+        assert stream < gallop
+
+    def test_empty_set_galloping(self):
+        pnm = PnmBackend(HardwareConfig())
+        assert pnm.galloping(0, 100).compute_cycles == 0
+
+    def test_membership_costs_ordered(self):
+        pnm = PnmBackend(HardwareConfig())
+        dense = pnm.membership_dense().cycles(8)
+        sorted_ = pnm.membership_sorted(1000).cycles(8)
+        unsorted = pnm.membership_unsorted(1000).cycles(8)
+        assert dense < sorted_ < unsorted
+
+
+class TestCpuBackend:
+    def test_probe_scales_with_degree(self):
+        cpu = CpuBackend(CpuConfig())
+        assert (
+            cpu.edge_probe(1000).compute_cycles > cpu.edge_probe(4).compute_cycles
+        )
+
+    def test_merge_has_memory_traffic(self):
+        cpu = CpuBackend(CpuConfig())
+        cost = cpu.merge(100, 100, output_size=50)
+        assert cost.memory_bytes == 4 * 250
+
+    def test_bitwise_passes(self):
+        cpu = CpuBackend(CpuConfig())
+        with_out = cpu.bitwise(6400, output=True)
+        without = cpu.bitwise(6400, output=False)
+        assert with_out.memory_bytes > without.memory_bytes
+
+
+class TestEngine:
+    def test_greedy_balancing(self):
+        engine = ExecutionEngine(2, bytes_per_cycle=8.0)
+        for cycles in (100, 100, 100, 100):
+            engine.begin_task()
+            engine.charge(Cost(compute_cycles=cycles))
+        report = engine.report()
+        assert report.lane_times == [200.0, 200.0]
+        assert report.runtime_cycles == 200.0
+
+    def test_imbalanced_tasks(self):
+        engine = ExecutionEngine(2, bytes_per_cycle=8.0)
+        engine.begin_task()
+        engine.charge(Cost(compute_cycles=1000))
+        for __ in range(4):
+            engine.begin_task()
+            engine.charge(Cost(compute_cycles=10))
+        report = engine.report()
+        assert report.runtime_cycles == 1000.0
+        assert max(report.stall_fractions) > 0.9  # the idle lane stalls
+
+    def test_memory_time_accounted(self):
+        engine = ExecutionEngine(1, bytes_per_cycle=2.0)
+        engine.begin_task()
+        engine.charge(Cost(compute_cycles=10, memory_bytes=20))
+        assert engine.runtime_cycles == 20.0
+
+    def test_sequential_overhead(self):
+        engine = ExecutionEngine(4, bytes_per_cycle=8.0)
+        engine.charge_sequential(Cost(compute_cycles=50))
+        assert engine.runtime_cycles == 50.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            ExecutionEngine(0, 1.0)
+        with pytest.raises(ConfigError):
+            ExecutionEngine(1, 0.0)
+
+
+class TestLruCache:
+    def test_hit_after_insert(self):
+        cache = LruCache(2)
+        assert not cache.access(1)
+        assert cache.access(1)
+
+    def test_eviction_order(self):
+        cache = LruCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 is now most recent
+        cache.access(3)  # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_zero_capacity_always_misses(self):
+        cache = LruCache(0)
+        assert not cache.access(1)
+        assert not cache.access(1)
+        assert cache.stats.hit_rate == 0.0
+
+    def test_invalidate(self):
+        cache = LruCache(4)
+        cache.access(1)
+        cache.invalidate(1)
+        assert not cache.access(1)
+
+    def test_stats(self):
+        cache = LruCache(4)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2

@@ -1,0 +1,107 @@
+"""End-to-end integration tests: dataset -> SetGraph -> algorithm ->
+counts & cycles, determinism, and the paper's qualitative claims."""
+
+import pytest
+
+from repro.algorithms.bron_kerbosch import maximal_cliques
+from repro.algorithms.kclique import kclique_count
+from repro.algorithms.subgraph_iso import star_pattern, subgraph_isomorphism
+from repro.algorithms.triangles import triangle_count
+from repro.baselines.nonset import kclique_count_nonset
+from repro.datasets import load
+from repro.graphs.labels import Labeling
+from repro.hw.config import commodity_cpu_config
+from repro.isa.opcodes import Opcode
+
+
+class TestDeterminism:
+    def test_same_run_same_cycles(self):
+        g = load("int-antCol5-d1")
+        a = kclique_count(g, 4, threads=8, max_patterns=5000)
+        b = kclique_count(g, 4, threads=8, max_patterns=5000)
+        assert a.output == b.output
+        assert a.runtime_cycles == b.runtime_cycles
+
+    def test_modes_agree_functionally(self):
+        g = load("bn-flyMedulla")
+        sisa = triangle_count(g, threads=8)
+        cpu = triangle_count(g, threads=8, mode="cpu-set")
+        assert sisa.output == cpu.output
+
+
+class TestPaperClaims:
+    def test_sisa_uses_both_pum_and_pnm(self):
+        """With t = 0.4 on a heavy-tailed dataset, both in-situ and
+        near-memory instructions are executed (Section 8.1).  Triangle
+        counting intersects neighborhoods pairwise, so heavy hubs
+        produce DB∩DB (PUM) work while the tail stays on PNM."""
+        g = load("bio-SC-GT")
+        run = triangle_count(g, threads=8)
+        stats = run.context.scu.stats
+        assert stats.pum_ops > 0
+        assert stats.pnm_ops > 0
+
+    def test_pure_sa_run_never_uses_pum_for_pairs(self):
+        g = load("soc-fbMsg")
+        run = kclique_count(g, 4, threads=8, t=0.0, max_patterns=5000)
+        counts = run.output
+        opcodes = run.context.opcode_counts()
+        assert Opcode.INTERSECT_DB_DB not in opcodes
+        assert counts >= 0
+
+    def test_commodity_cpu_flattens(self):
+        """The Fig. 1 phenomenon: on the commodity CPU config, going
+        from 8 to 32 threads barely helps a memory-bound baseline."""
+        g = load("int-antCol6-d2")
+        cpu = commodity_cpu_config()
+        t8 = kclique_count_nonset(g, 4, threads=8, cpu=cpu, max_patterns=20_000)
+        t32 = kclique_count_nonset(g, 4, threads=32, cpu=cpu, max_patterns=20_000)
+        speedup = t8.runtime_cycles / t32.runtime_cycles
+        assert speedup < 2.5  # nowhere near the 4x thread increase
+
+    def test_stall_fraction_rises_with_threads(self):
+        g = load("int-antCol6-d2")
+        cpu = commodity_cpu_config()
+        t1 = kclique_count_nonset(g, 4, threads=1, cpu=cpu, max_patterns=20_000)
+        t32 = kclique_count_nonset(g, 4, threads=32, cpu=cpu, max_patterns=20_000)
+        assert t32.report.avg_stall_fraction > t1.report.avg_stall_fraction
+
+    def test_labeled_si_prunes(self):
+        """The paper (Section 9.2, 'Labels'): label constraints
+        eliminate recursive calls early, so *full* labeled runs are
+        usually faster despite the extra label checks."""
+        from repro.graphs.generators import gnp_random_graph
+
+        g = gnp_random_graph(60, 0.2, seed=12)
+        pattern = star_pattern(3)
+        unlabeled = subgraph_isomorphism(g, pattern, threads=8)
+        labeled = subgraph_isomorphism(
+            g,
+            pattern,
+            threads=8,
+            target_labels=Labeling.random(g, 3, seed=0),
+            pattern_labels=Labeling(pattern, [0, 1, 2, 0]),
+        )
+        assert labeled.output < unlabeled.output
+        assert labeled.runtime_cycles < unlabeled.runtime_cycles
+
+    def test_smb_cache_helps_single_thread(self):
+        """Section 9.2: disabling the SCU cache costs ~1.5x at T=1."""
+        g = load("int-antCol4") if False else load("intD-antCol4")
+        with_cache = kclique_count(g, 4, threads=1, max_patterns=5000)
+        without = kclique_count(
+            g, 4, threads=1, max_patterns=5000, smb_enabled=False
+        )
+        assert without.runtime_cycles > with_cache.runtime_cycles
+
+    def test_dense_fraction_tracks_t(self):
+        g = load("bio-CE-PG")
+        low = kclique_count(g, 4, threads=4, t=0.1, max_patterns=1000)
+        high = kclique_count(g, 4, threads=4, t=0.8, max_patterns=1000)
+        assert low.output == high.output
+
+    def test_mc_runs_on_dataset(self):
+        g = load("int-HosWardProx")
+        run = maximal_cliques(g, threads=8, max_patterns=2000)
+        assert len(run.output) > 0
+        assert run.runtime_cycles > 0

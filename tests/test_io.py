@@ -1,0 +1,55 @@
+"""Unit tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRead:
+    def test_round_trip(self, small_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_graph, path)
+        back = read_edge_list(path, num_vertices=small_graph.num_vertices)
+        assert back == small_graph
+
+    def test_round_trip_via_stringio(self, small_graph):
+        buf = io.StringIO()
+        write_edge_list(small_graph, buf)
+        buf.seek(0)
+        back = read_edge_list(buf, num_vertices=small_graph.num_vertices)
+        assert back == small_graph
+
+    def test_comments_skipped(self):
+        buf = io.StringIO("% comment\n# another\n0 1\n1 2\n")
+        g = read_edge_list(buf)
+        assert g.num_edges == 2
+
+    def test_weight_column_ignored(self):
+        buf = io.StringIO("0 1 0.5\n1 2 0.7\n")
+        g = read_edge_list(buf)
+        assert g.num_edges == 2
+
+    def test_infers_vertex_count(self):
+        buf = io.StringIO("0 7\n")
+        g = read_edge_list(buf)
+        assert g.num_vertices == 8
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("-1 2\n"))
+
+    def test_empty_file(self):
+        g = read_edge_list(io.StringIO(""))
+        assert g.num_vertices == 0

@@ -1,0 +1,163 @@
+"""Unit + property tests for set-operation kernels.
+
+The property tests assert that every kernel variant agrees with Python
+set semantics regardless of representation and sortedness — the core
+functional-correctness invariant of the whole ISA.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SetError
+from repro.sets import kernels
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+UNIVERSE = 96
+
+subsets = st.sets(st.integers(min_value=0, max_value=UNIVERSE - 1), max_size=40)
+
+
+def sa(elements, *, shuffle_seed=None):
+    arr = np.asarray(sorted(elements), dtype=np.int64)
+    s = SparseArray(arr, UNIVERSE)
+    if shuffle_seed is not None:
+        s = s.shuffled(shuffle_seed)
+    return s
+
+
+def db(elements):
+    return DenseBitvector.from_elements(np.asarray(sorted(elements)), UNIVERSE)
+
+
+class TestIntersectVariants:
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_python(self, a, b):
+        result = kernels.intersect_merge(sa(a), sa(b))
+        assert result.to_python_set() == a & b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_gallop_matches_python(self, a, b):
+        result = kernels.intersect_gallop(sa(a), sa(b))
+        assert result.to_python_set() == a & b
+
+    @given(subsets, subsets, st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_gallop_unsorted_small_side(self, a, b, seed):
+        result = kernels.intersect_gallop(sa(a, shuffle_seed=seed), sa(b))
+        assert result.to_python_set() == a & b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_sa_db_matches_python(self, a, b):
+        result = kernels.intersect_sa_db(sa(a), db(b))
+        assert result.to_python_set() == a & b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_db_db_matches_python(self, a, b):
+        result = kernels.intersect_db_db(db(a), db(b))
+        assert result.to_python_set() == a & b
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(SetError):
+            kernels.intersect_merge(
+                SparseArray([1], universe=5), SparseArray([1], universe=6)
+            )
+
+
+class TestUnionVariants:
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_python(self, a, b):
+        assert kernels.union_merge(sa(a), sa(b)).to_python_set() == a | b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_sa_db_matches_python(self, a, b):
+        assert kernels.union_sa_db(sa(a), db(b)).to_python_set() == a | b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_db_db_matches_python(self, a, b):
+        assert kernels.union_db_db(db(a), db(b)).to_python_set() == a | b
+
+
+class TestDifferenceVariants:
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_matches_python(self, a, b):
+        assert kernels.difference_merge(sa(a), sa(b)).to_python_set() == a - b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_gallop_matches_python(self, a, b):
+        assert kernels.difference_gallop(sa(a), sa(b)).to_python_set() == a - b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_sa_db_matches_python(self, a, b):
+        assert kernels.difference_sa_db(sa(a), db(b)).to_python_set() == a - b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_db_sa_matches_python(self, a, b):
+        assert kernels.difference_db_sa(db(a), sa(b)).to_python_set() == a - b
+
+    @given(subsets, subsets)
+    @settings(max_examples=60, deadline=None)
+    def test_db_db_matches_python(self, a, b):
+        assert kernels.difference_db_db(db(a), db(b)).to_python_set() == a - b
+
+
+class TestGenericDispatch:
+    @given(subsets, subsets, st.booleans(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_intersect_any_representation(self, a, b, dense_a, dense_b):
+        va = db(a) if dense_a else sa(a)
+        vb = db(b) if dense_b else sa(b)
+        assert kernels.intersect(va, vb).to_python_set() == a & b
+
+    @given(subsets, subsets, st.booleans(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_union_any_representation(self, a, b, dense_a, dense_b):
+        va = db(a) if dense_a else sa(a)
+        vb = db(b) if dense_b else sa(b)
+        assert kernels.union(va, vb).to_python_set() == a | b
+
+    @given(subsets, subsets, st.booleans(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_difference_any_representation(self, a, b, dense_a, dense_b):
+        va = db(a) if dense_a else sa(a)
+        vb = db(b) if dense_b else sa(b)
+        assert kernels.difference(va, vb).to_python_set() == a - b
+
+    @given(subsets, subsets, st.booleans(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_counts_match_materialized(self, a, b, dense_a, dense_b):
+        va = db(a) if dense_a else sa(a)
+        vb = db(b) if dense_b else sa(b)
+        assert kernels.intersect_cardinality(va, vb) == len(a & b)
+        assert kernels.union_cardinality(va, vb) == len(a | b)
+        assert kernels.difference_cardinality(va, vb) == len(a - b)
+
+
+class TestAlgebraicLaws:
+    @given(subsets, subsets)
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan_difference(self, a, b):
+        """A \\ B == A ∩ B' — the identity SISA-PUM exploits (§8.1)."""
+        left = kernels.difference_db_db(db(a), db(b)).to_python_set()
+        right = kernels.intersect_db_db(db(a), db(b).complement()).to_python_set()
+        assert left == right
+
+    @given(subsets, subsets)
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_exclusion(self, a, b):
+        assert kernels.union_cardinality(sa(a), sa(b)) == len(a) + len(b) - len(
+            a & b
+        )

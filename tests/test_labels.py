@@ -1,0 +1,50 @@
+"""Unit tests for graph labelings."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.labels import Labeling
+
+
+@pytest.fixture
+def labeled(small_graph):
+    return Labeling(
+        small_graph,
+        [0, 1, 0, 1, 2, 0],
+        edge_labels={(0, 1): 5, (3, 4): 7},
+    )
+
+
+class TestLabeling:
+    def test_vertex_labels(self, labeled):
+        assert labeled.vertex_label(0) == 0
+        assert labeled.vertex_label(4) == 2
+
+    def test_edge_labels_symmetric(self, labeled):
+        assert labeled.edge_label(0, 1) == 5
+        assert labeled.edge_label(1, 0) == 5
+
+    def test_edge_label_default(self, labeled):
+        assert labeled.edge_label(0, 2) == 0
+        assert labeled.edge_label(0, 2, default=-1) == -1
+
+    def test_num_vertex_labels(self, labeled):
+        assert labeled.num_vertex_labels == 3
+
+    def test_wrong_length_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            Labeling(small_graph, [0, 1])
+
+    def test_label_on_non_edge_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            Labeling(small_graph, [0] * 6, edge_labels={(0, 4): 1})
+
+    def test_random_deterministic(self, small_graph):
+        a = Labeling.random(small_graph, 3, seed=1)
+        b = Labeling.random(small_graph, 3, seed=1)
+        assert list(a.vertex_labels) == list(b.vertex_labels)
+
+    def test_random_within_range(self, small_graph):
+        lab = Labeling.random(small_graph, 3, seed=2)
+        assert set(lab.vertex_labels) <= {0, 1, 2}

@@ -1,0 +1,112 @@
+"""Unit & property tests for degeneracy orderings and k-cores."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    complete_graph,
+    gnp_random_graph,
+    star_graph,
+)
+from repro.graphs.orientation import (
+    approx_degeneracy_order,
+    core_decomposition,
+    degeneracy_order,
+    k_core,
+)
+
+from conftest import to_networkx
+
+
+class TestExactDegeneracy:
+    def test_star_has_degeneracy_one(self):
+        assert degeneracy_order(star_graph(20)).degeneracy == 1
+
+    def test_complete_graph(self):
+        assert degeneracy_order(complete_graph(8)).degeneracy == 7
+
+    def test_empty_graph(self):
+        result = degeneracy_order(CSRGraph.empty(4))
+        assert result.degeneracy == 0
+        assert sorted(result.order) == [0, 1, 2, 3]
+
+    def test_zero_vertices(self):
+        result = degeneracy_order(CSRGraph.empty(0))
+        assert result.order.size == 0
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = gnp_random_graph(40, 0.2, seed=seed)
+            expected = max(nx.core_number(to_networkx(g)).values(), default=0)
+            assert degeneracy_order(g).degeneracy == expected
+
+    def test_order_is_permutation(self, random_graph):
+        result = degeneracy_order(random_graph)
+        assert sorted(result.order) == list(range(random_graph.num_vertices))
+
+    def test_rank_inverts_order(self, random_graph):
+        result = degeneracy_order(random_graph)
+        assert np.array_equal(result.order[result.rank], np.arange(random_graph.num_vertices))
+
+    def test_every_vertex_has_few_later_neighbors(self, random_graph):
+        """The defining property: each vertex has <= c neighbors later
+        in the order."""
+        result = degeneracy_order(random_graph)
+        for v in range(random_graph.num_vertices):
+            later = np.count_nonzero(
+                result.rank[random_graph.neighbors(v)] > result.rank[v]
+            )
+            assert later <= result.degeneracy
+
+
+class TestApproxDegeneracy:
+    def test_within_approximation_ratio(self):
+        for seed in range(4):
+            g = gnp_random_graph(50, 0.2, seed=seed)
+            exact = degeneracy_order(g).degeneracy
+            approx = approx_degeneracy_order(g, eps=0.5).degeneracy
+            # The induced out-degree is at most (2 + eps) * c.
+            assert approx <= (2 + 0.5) * max(exact, 1) + 1
+
+    def test_order_is_permutation(self, random_graph):
+        result = approx_degeneracy_order(random_graph)
+        assert sorted(result.order) == list(range(random_graph.num_vertices))
+
+    def test_bad_eps_rejected(self, random_graph):
+        with pytest.raises(GraphError):
+            approx_degeneracy_order(random_graph, eps=0.0)
+
+    def test_empty(self):
+        result = approx_degeneracy_order(CSRGraph.empty(0))
+        assert result.order.size == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_star_always_low(self, seed):
+        g = star_graph(15)
+        approx = approx_degeneracy_order(g, eps=0.5).degeneracy
+        assert approx <= 3  # (2 + eps) * 1 rounded
+
+
+class TestCores:
+    def test_core_numbers_match_networkx(self):
+        for seed in range(4):
+            g = gnp_random_graph(40, 0.25, seed=seed)
+            expected = nx.core_number(to_networkx(g))
+            core = core_decomposition(g)
+            assert {v: int(core[v]) for v in range(40)} == expected
+
+    def test_k_core_vertices(self):
+        g = gnp_random_graph(40, 0.3, seed=9)
+        expected = set(nx.k_core(to_networkx(g), 5).nodes())
+        assert set(int(v) for v in k_core(g, 5)) == expected
+
+    def test_k_core_of_complete_graph(self):
+        g = complete_graph(6)
+        assert len(k_core(g, 5)) == 6
+        assert len(k_core(g, 6)) == 0

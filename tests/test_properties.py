@@ -1,0 +1,76 @@
+"""Unit tests for graph property calculations (the Fig. 7a data)."""
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    chung_lu_graph,
+    complete_graph,
+    gnp_random_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    degree_histogram,
+    degree_stats,
+    degeneracy,
+    is_heavy_tailed,
+    triangle_count_reference,
+)
+
+
+class TestDegreeStats:
+    def test_complete_graph(self):
+        stats = degree_stats(complete_graph(10))
+        assert stats.max_degree == 9
+        assert stats.avg_degree == 9.0
+        assert stats.max_degree_fraction == 0.9
+        assert stats.gini < 0.01  # perfectly uniform
+
+    def test_star_graph_skew(self):
+        stats = degree_stats(star_graph(100))
+        assert stats.max_degree == 99
+        assert stats.max_degree_fraction == 0.99
+        # Half of the degree mass sits in one vertex: Gini ~ 0.5.
+        assert stats.gini > 0.4
+
+    def test_empty(self):
+        stats = degree_stats(CSRGraph.empty(0))
+        assert stats.num_vertices == 0
+        assert stats.gini == 0.0
+
+    def test_isolated_vertices(self):
+        stats = degree_stats(CSRGraph.empty(10))
+        assert stats.max_degree == 0
+        assert stats.avg_degree == 0.0
+
+
+class TestHistogram:
+    def test_bins_cover_degrees(self, random_graph):
+        edges, counts = degree_histogram(random_graph)
+        positive = random_graph.degrees[random_graph.degrees > 0]
+        assert counts.sum() == positive.size
+
+    def test_empty_graph(self):
+        edges, counts = degree_histogram(CSRGraph.empty(3))
+        assert counts.sum() == 0
+
+
+class TestHeavyTail:
+    def test_genome_like_is_heavy(self):
+        g = chung_lu_graph(800, 12_000, gamma=1.9, seed=1)
+        assert is_heavy_tailed(g)
+
+    def test_near_regular_is_light(self):
+        g = gnp_random_graph(1000, 0.01, seed=1)
+        assert not is_heavy_tailed(g)
+
+
+class TestReferences:
+    def test_triangle_reference_complete(self):
+        assert triangle_count_reference(complete_graph(6)) == 20
+
+    def test_triangle_reference_star(self):
+        assert triangle_count_reference(star_graph(10)) == 0
+
+    def test_degeneracy_helper(self):
+        assert degeneracy(complete_graph(5)) == 4

@@ -1,0 +1,101 @@
+"""Unit tests for SetGraph representation selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphs.generators import chung_lu_graph, star_graph
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+
+
+@pytest.fixture
+def heavy_graph():
+    return chung_lu_graph(300, 3000, gamma=1.9, seed=8)
+
+
+class TestSelection:
+    def test_fraction_policy_counts(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=0.4, budget=10.0)
+        # With an ample budget, ~40% of neighborhoods become DBs.
+        assert abs(sg.dense_fraction - 0.4) < 0.05
+
+    def test_t_zero_all_sparse(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=0.0)
+        assert sg.num_dense == 0
+
+    def test_t_one_with_budget_zero_all_sparse(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=1.0, budget=0.0)
+        # Zero budget admits only DBs that are smaller than their SA
+        # (degree >= n / W).
+        word_bits = ctx.hw.word_bits
+        for v in range(sg.num_vertices):
+            if sg.dense_mask[v]:
+                assert heavy_graph.degree(v) * word_bits >= heavy_graph.num_vertices
+
+    def test_dense_selects_largest_first(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=0.2, budget=10.0)
+        degrees = heavy_graph.degrees
+        chosen = degrees[sg.dense_mask]
+        not_chosen = degrees[~sg.dense_mask]
+        if chosen.size and not_chosen.size:
+            assert chosen.min() >= not_chosen.max() - 1
+
+    def test_threshold_policy(self):
+        g = star_graph(100)
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(g, ctx, t=0.5, budget=10.0, policy="threshold")
+        # Only the hub has degree >= 0.5 * n.
+        assert sg.num_dense == 1
+        assert sg.dense_mask[0]
+
+    def test_budget_limits_storage(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        word_bits = ctx.hw.word_bits
+        sa_total = word_bits * int(heavy_graph.degrees.sum())
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=1.0, budget=0.1)
+        assert sg.storage_bits <= 1.1 * sa_total + heavy_graph.num_vertices
+
+    def test_cpu_mode_never_dense(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="cpu-set")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=0.4)
+        assert sg.num_dense == 0
+
+    def test_invalid_params(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        with pytest.raises(ConfigError):
+            SetGraph.from_graph(heavy_graph, ctx, t=1.5)
+        with pytest.raises(ConfigError):
+            SetGraph.from_graph(heavy_graph, ctx, budget=-1)
+        with pytest.raises(ConfigError):
+            SetGraph.from_graph(heavy_graph, ctx, policy="magic")
+
+
+class TestContent:
+    def test_neighborhood_contents_preserved(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx, t=0.4)
+        for v in range(0, heavy_graph.num_vertices, 17):
+            stored = ctx.value(sg.neighborhood(v)).to_array()
+            assert np.array_equal(stored, heavy_graph.neighbors(v))
+
+    def test_degree_matches_metadata(self, heavy_graph):
+        ctx = SisaContext(threads=1, mode="sisa")
+        sg = SetGraph.from_graph(heavy_graph, ctx)
+        for v in range(0, heavy_graph.num_vertices, 23):
+            assert sg.degree(v) == heavy_graph.degree(v)
+
+    def test_from_digraph(self, heavy_graph):
+        from repro.graphs.digraph import orient_by_order
+        from repro.graphs.orientation import degeneracy_order
+
+        ctx = SisaContext(threads=1, mode="sisa")
+        dg = orient_by_order(heavy_graph, degeneracy_order(heavy_graph).order)
+        sg = SetGraph.from_digraph(dg, ctx)
+        for v in range(0, dg.num_vertices, 29):
+            stored = ctx.value(sg.neighborhood(v)).to_array()
+            assert np.array_equal(stored, dg.out_neighbors(v))

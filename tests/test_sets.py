@@ -1,0 +1,165 @@
+"""Unit tests for the SA and DB set representations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SetError
+from repro.sets.base import Representation
+from repro.sets.convert import to_dense, to_sparse
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+
+class TestSparseArray:
+    def test_sorted_detection(self):
+        s = SparseArray([1, 3, 5], universe=10)
+        assert s.representation is Representation.SPARSE_SORTED
+        assert s.is_sorted
+
+    def test_unsorted_detection(self):
+        s = SparseArray([5, 1, 3], universe=10)
+        assert s.representation is Representation.SPARSE_UNSORTED
+        assert list(s.to_array()) == [1, 3, 5]
+
+    def test_cardinality(self):
+        assert SparseArray([1, 2, 3], universe=5).cardinality == 3
+        assert len(SparseArray.empty(5)) == 0
+
+    def test_membership(self):
+        s = SparseArray([2, 4, 6], universe=10)
+        assert s.contains(4)
+        assert not s.contains(5)
+        assert 4 in s
+        assert "x" not in s
+
+    def test_membership_unsorted(self):
+        s = SparseArray([6, 2, 4], universe=10)
+        assert s.contains(4)
+        assert not s.contains(3)
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(SetError):
+            SparseArray([10], universe=10)
+        with pytest.raises(SetError):
+            SparseArray([-1], universe=10)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SetError):
+            SparseArray([1, 1], universe=5)
+
+    def test_storage_bits(self):
+        assert SparseArray([1, 2, 3], universe=100).storage_bits == 96
+
+    def test_with_element(self):
+        s = SparseArray([1, 5], universe=10)
+        s2 = s.with_element(3)
+        assert list(s2.to_array()) == [1, 3, 5]
+        assert list(s.to_array()) == [1, 5]  # original untouched
+
+    def test_with_element_already_present(self):
+        s = SparseArray([1], universe=10)
+        assert s.with_element(1) is s
+
+    def test_with_element_out_of_range(self):
+        with pytest.raises(SetError):
+            SparseArray([1], universe=10).with_element(10)
+
+    def test_without_element(self):
+        s = SparseArray([1, 3, 5], universe=10)
+        assert list(s.without_element(3).to_array()) == [1, 5]
+
+    def test_without_absent_element(self):
+        s = SparseArray([1], universe=10)
+        assert s.without_element(7) is s
+
+    def test_full(self):
+        assert SparseArray.full(5).cardinality == 5
+
+    def test_shuffled_same_elements(self):
+        s = SparseArray(list(range(20)), universe=30)
+        sh = s.shuffled(seed=3)
+        assert sh.to_python_set() == s.to_python_set()
+
+    def test_iteration(self):
+        assert list(SparseArray([3, 1], universe=5)) == [1, 3]
+
+
+class TestDenseBitvector:
+    def test_from_elements(self):
+        d = DenseBitvector.from_elements([0, 63, 64, 100], universe=128)
+        assert d.cardinality == 4
+        assert d.contains(63)
+        assert d.contains(64)
+        assert not d.contains(65)
+
+    def test_to_array_sorted(self):
+        d = DenseBitvector.from_elements([100, 5, 64], universe=128)
+        assert list(d.to_array()) == [5, 64, 100]
+
+    def test_storage_is_universe_bits(self):
+        assert DenseBitvector.empty(1000).storage_bits == 1000
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(SetError):
+            DenseBitvector.from_elements([128], universe=128)
+
+    def test_empty_and_full(self):
+        assert DenseBitvector.empty(70).cardinality == 0
+        full = DenseBitvector.full(70)
+        assert full.cardinality == 70
+        assert full.contains(69)
+
+    def test_full_masks_tail_bits(self):
+        # Universe 70 needs two words; bits 70..127 must not count.
+        full = DenseBitvector.full(70)
+        assert int(np.bitwise_count(full.words).sum()) == 70
+
+    def test_with_element(self):
+        d = DenseBitvector.empty(100)
+        d2 = d.with_element(42)
+        assert d2.contains(42)
+        assert not d.contains(42)
+        assert d2.cardinality == 1
+
+    def test_with_element_idempotent(self):
+        d = DenseBitvector.from_elements([1], universe=10)
+        assert d.with_element(1) is d
+
+    def test_without_element(self):
+        d = DenseBitvector.from_elements([1, 2], universe=10)
+        d2 = d.without_element(1)
+        assert not d2.contains(1)
+        assert d2.cardinality == 1
+
+    def test_without_absent(self):
+        d = DenseBitvector.empty(10)
+        assert d.without_element(3) is d
+
+    def test_complement(self):
+        d = DenseBitvector.from_elements([0, 1], universe=10)
+        c = d.complement()
+        assert c.cardinality == 8
+        assert not c.contains(0)
+        assert c.contains(9)
+
+    def test_contains_out_of_range_is_false(self):
+        assert not DenseBitvector.empty(10).contains(50)
+
+    def test_wrong_word_count_rejected(self):
+        with pytest.raises(SetError):
+            DenseBitvector(np.zeros(1, dtype=np.uint64), universe=1000)
+
+
+class TestConvert:
+    def test_round_trip_sparse_dense(self):
+        s = SparseArray([3, 7, 11], universe=64)
+        d = to_dense(s)
+        assert d.representation is Representation.DENSE
+        back = to_sparse(d)
+        assert back.to_python_set() == s.to_python_set()
+
+    def test_identity_fast_paths(self):
+        s = SparseArray([1], universe=8)
+        d = DenseBitvector.empty(8)
+        assert to_sparse(s) is s
+        assert to_dense(d) is d

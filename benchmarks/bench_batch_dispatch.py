@@ -1,0 +1,259 @@
+"""Batched vs. scalar instruction execution: wall-clock speedup.
+
+Measures the host-side (Python) execution speed of the batched
+set-instruction engine on a triangle-count + 4-clique micro-benchmark
+over an RMAT (Kronecker) graph, against two baselines:
+
+* ``legacy``  — a faithful reconstruction of the seed repo's per-op
+  pipeline: materializing count kernels (``np.intersect1d``
+  concatenates and re-sorts; no count-only form for non-DB pairs),
+  per-op un-memoized dispatch and unconditional trace-event
+  construction.  This is the pre-PR scalar path the ISSUE's >= 3x
+  acceptance criterion refers to.
+* ``scalar``  — this repo's current per-op path (count-only kernels,
+  memoized dispatch): the sequential equivalent of the batched engine.
+
+Simulated cycles are asserted identical between batched and scalar
+runs — batching amortizes interpreter overhead, never modeled cost.
+
+Env knobs: ``BENCH_BATCH_SCALE`` (RMAT scale, default 11) and
+``BENCH_BATCH_EF`` (edge factor, default 8).
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.algorithms.common import make_context, oriented_setgraph
+from repro.algorithms.kclique import four_clique_count_on
+from repro.algorithms.triangles import triangle_count_oriented
+from repro.graphs.generators import kronecker_graph
+from repro.hw.cost import Cost
+from repro.isa.opcodes import Opcode, SetOp
+from repro.isa.scu import Dispatch
+from repro.runtime.trace import TraceEvent
+from repro.sets.bitops import popcount
+from repro.sets.dense import DenseBitvector
+from repro.sets.sparse import SparseArray
+
+from common import emit
+
+SCALE = int(os.environ.get("BENCH_BATCH_SCALE", "11"))
+EDGE_FACTOR = int(os.environ.get("BENCH_BATCH_EF", "8"))
+REPEATS = int(os.environ.get("BENCH_BATCH_REPEATS", "3"))
+# The acceptance floor (>= 3x vs the pre-PR scalar path).  CI smokes
+# may pass a lower floor via env to tolerate shared-runner noise while
+# still catching real regressions.
+MIN_SPEEDUP = float(os.environ.get("BENCH_BATCH_MIN_SPEEDUP", "3.0"))
+
+
+# ---------------------------------------------------------------------------
+# Legacy reference: the seed repo's per-op execution pipeline
+# ---------------------------------------------------------------------------
+
+def _legacy_dispatch(scu, op, ma, mb, *, output_size=0, count_only=False):
+    """Pre-PR ``Scu.dispatch_binary``: per-op metadata Cost objects and
+    a fresh variant decision every time (no memo)."""
+    base = scu._metadata_cost(ma.set_id, mb.set_id)
+    if scu.host_fallback:
+        base += Cost(latency_cycles=scu.cpu.config.set_op_latency_cycles)
+    if ma.is_dense and mb.is_dense:
+        d = scu._dispatch_dense_pair(op, ma, count_only=count_only)
+    elif ma.is_dense or mb.is_dense:
+        d = scu._dispatch_mixed(op, ma, mb, output_size=output_size)
+    else:
+        d = scu._dispatch_sparse_pair(op, ma, mb, output_size=output_size)
+    scu.stats.record(d.opcode)
+    return Dispatch(d.opcode, d.backend, d.variant, base + d.cost)
+
+
+def _legacy_materialize_intersection(va, vb):
+    """Pre-PR functional kernels: every count materializes its result."""
+    n = va.universe
+    if isinstance(va, DenseBitvector) and isinstance(vb, DenseBitvector):
+        return DenseBitvector(va.words & vb.words, n)
+    if isinstance(va, DenseBitvector):
+        va, vb = vb, va
+    if isinstance(vb, DenseBitvector):
+        arr = va.elements
+        if arr.size == 0:
+            return SparseArray.empty(n)
+        words = vb.words
+        bits = (words[arr // 64] >> (arr % 64).astype(np.uint64)) & np.uint64(1)
+        return SparseArray.from_sorted(np.sort(arr[bits.astype(bool)]), n)
+    result = np.intersect1d(va.to_array(), vb.to_array(), assume_unique=True)
+    return SparseArray.from_sorted(result.astype(np.int64), n)
+
+
+def _legacy_binary(ctx, op, a, b, *, count_only):
+    """Pre-PR ``SisaContext._binary``: materialize, dispatch, build a
+    trace event unconditionally."""
+    va, vb = ctx.sm.value(a), ctx.sm.value(b)
+    if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+        result = _legacy_materialize_intersection(va, vb)
+    else:  # pragma: no cover - only intersections are benchmarked
+        raise NotImplementedError
+    output_size = 0 if count_only else result.cardinality
+    dispatch = _legacy_dispatch(
+        ctx.scu, op, ctx.sm.meta(a), ctx.sm.meta(b),
+        output_size=output_size, count_only=count_only,
+    )
+    ctx.engine.charge(dispatch.cost)
+    ctx.trace.record(
+        TraceEvent(
+            opcode=dispatch.opcode,
+            lane=ctx._current_lane,
+            size_a=va.cardinality,
+            size_b=vb.cardinality,
+            output_size=result.cardinality,
+            backend=dispatch.backend,
+            variant=dispatch.variant,
+        )
+    )
+    return result
+
+
+def _legacy_intersect_count(ctx, a, b):
+    return _legacy_binary(ctx, SetOp.INTERSECT_COUNT, a, b, count_only=True).cardinality
+
+
+def _legacy_intersect(ctx, a, b):
+    return ctx.sm.register(
+        _legacy_binary(ctx, SetOp.INTERSECT, a, b, count_only=False)
+    )
+
+
+def _legacy_elements(ctx, set_id):
+    """Pre-PR iterator: the scan cost object is rebuilt per call."""
+    value = ctx.sm.value(set_id)
+    if ctx.mode == "cpu-set":
+        cost = ctx.scu.cpu.neighborhood_scan(value.cardinality)
+    else:
+        cost = ctx.scu.pnm.scan(value.cardinality)
+    ctx.engine.charge(cost)
+    return value.to_array()
+
+
+def _legacy_free(ctx, set_id):
+    """Pre-PR delete: metadata Cost objects per call."""
+    cost = ctx.scu._metadata_cost(set_id)
+    ctx.scu.smb.invalidate(set_id)
+    ctx.scu.stats.record(Opcode.DELETE)
+    ctx.engine.charge(cost)
+    ctx.sm.delete(set_id)
+
+
+def legacy_triangle_count(sg, ctx):
+    total = 0
+    for u in range(sg.num_vertices):
+        ctx.begin_task()
+        out_u = sg.neighborhood(u)
+        for v in _legacy_elements(ctx, out_u):
+            total += _legacy_intersect_count(ctx, out_u, sg.neighborhood(int(v)))
+    return total
+
+
+def legacy_four_clique_count(ctx, sg):
+    count = 0
+    for v1 in range(sg.num_vertices):
+        ctx.begin_task()
+        out_v1 = sg.neighborhood(v1)
+        for v2 in _legacy_elements(ctx, out_v1):
+            s1 = _legacy_intersect(ctx, out_v1, sg.neighborhood(int(v2)))
+            for v3 in _legacy_elements(ctx, s1):
+                count += _legacy_intersect_count(ctx, s1, sg.neighborhood(int(v3)))
+            _legacy_free(ctx, s1)
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def _time_region(graph, fn):
+    best = float("inf")
+    output = cycles = None
+    for __ in range(REPEATS):
+        ctx = make_context()
+        __unused, sg = oriented_setgraph(graph, ctx)
+        gc.collect()
+        start = time.perf_counter()
+        output = fn(ctx, sg)
+        best = min(best, time.perf_counter() - start)
+        cycles = ctx.runtime_cycles
+    return best, output, cycles
+
+
+def _run(graph):
+    cases = {
+        "triangles": {
+            "batched": lambda c, s: triangle_count_oriented(s, c),
+            "scalar": lambda c, s: triangle_count_oriented(s, c, batch=False),
+            "legacy": lambda c, s: legacy_triangle_count(s, c),
+        },
+        "4-clique": {
+            "batched": lambda c, s: four_clique_count_on(c, s),
+            "scalar": lambda c, s: four_clique_count_on(c, s, batch=False),
+            "legacy": lambda c, s: legacy_four_clique_count(c, s),
+        },
+    }
+    rows = {}
+    for name, impls in cases.items():
+        timings = {}
+        outputs = {}
+        cycles = {}
+        for impl, fn in impls.items():
+            timings[impl], outputs[impl], cycles[impl] = _time_region(graph, fn)
+        assert outputs["batched"] == outputs["scalar"] == outputs["legacy"]
+        # Batching amortizes Python overhead, not modeled cost.
+        assert cycles["batched"] == cycles["scalar"]
+        rows[name] = timings
+    return rows
+
+
+def _render(graph, rows):
+    n, m = graph.num_vertices, graph.edge_array().shape[0]
+    print("== Batched set-instruction engine: wall-clock speedup ==")
+    print(f"RMAT scale={SCALE} edge_factor={EDGE_FACTOR} (n={n}, m={m})")
+    print(
+        f"{'kernel':<12}{'legacy ms':>11}{'scalar ms':>11}{'batched ms':>12}"
+        f"{'vs legacy':>11}{'vs scalar':>11}"
+    )
+    total_legacy = total_batched = 0.0
+    for name, t in rows.items():
+        total_legacy += t["legacy"]
+        total_batched += t["batched"]
+        print(
+            f"{name:<12}{t['legacy'] * 1e3:>11.1f}{t['scalar'] * 1e3:>11.1f}"
+            f"{t['batched'] * 1e3:>12.1f}"
+            f"{t['legacy'] / t['batched']:>10.2f}x"
+            f"{t['scalar'] / t['batched']:>10.2f}x"
+        )
+    print(
+        f"\ncombined speedup vs pre-PR scalar path: "
+        f"{total_legacy / total_batched:.2f}x (floor {MIN_SPEEDUP:.1f}x)"
+    )
+
+
+def test_batch_dispatch_speedup(benchmark):
+    graph = kronecker_graph(SCALE, EDGE_FACTOR, seed=3)
+    rows = _run(graph)
+    emit("batch_dispatch", lambda: _render(graph, rows))
+    total_legacy = sum(t["legacy"] for t in rows.values())
+    total_batched = sum(t["batched"] for t in rows.values())
+    assert total_legacy / total_batched >= MIN_SPEEDUP
+
+    def batched_triangle_region():
+        ctx = make_context()
+        __, sg = oriented_setgraph(graph, ctx)
+        return triangle_count_oriented(sg, ctx)
+
+    benchmark(batched_triangle_region)
+
+
+if __name__ == "__main__":
+    graph = kronecker_graph(SCALE, EDGE_FACTOR, seed=3)
+    rows = _run(graph)
+    _render(graph, rows)

@@ -33,6 +33,7 @@ def _count_from(
     prefix: list[int],
     budget: PatternBudget,
     cliques: list[tuple[int, ...]] | None,
+    batch: bool,
 ) -> int:
     """Recursive step: ``candidates`` holds C_level (paper lines 11-18)."""
     if budget.exhausted:
@@ -44,6 +45,25 @@ def _count_from(
                 cliques.append(tuple(prefix + [int(w)]))
         budget.count(found)
         return found
+    if level == k - 1 and cliques is None and budget.limit is None:
+        # Zero-materialization counting fast path (§6.2.3): the last
+        # recursion level only needs |C_k| = |N+(v) ∩ C_{k-1}| per v,
+        # so count-form instructions replace the materialize /
+        # cardinality / delete triple.
+        vs = ctx.elements(candidates)
+        if vs.size == 0:
+            return 0
+        if batch:
+            counts = ctx.intersect_count_batch(
+                candidates, [sg.neighborhood(v) for v in vs.tolist()]
+            )
+            total = int(counts.sum())
+        else:
+            total = 0
+            for v in vs:
+                total += ctx.intersect_count(candidates, sg.neighborhood(int(v)))
+        budget.count(total)
+        return total
     total = 0
     for v in ctx.elements(candidates):
         if budget.exhausted:
@@ -51,7 +71,8 @@ def _count_from(
         v = int(v)
         next_candidates = ctx.intersect(sg.neighborhood(v), candidates)
         total += _count_from(
-            ctx, sg, level + 1, k, next_candidates, prefix + [v], budget, cliques
+            ctx, sg, level + 1, k, next_candidates, prefix + [v], budget,
+            cliques, batch,
         )
         ctx.free(next_candidates)
     return total
@@ -64,8 +85,14 @@ def kclique_count_on(
     *,
     max_patterns: int | None = None,
     collect: bool = False,
+    batch: bool = True,
 ) -> int | list[tuple[int, ...]]:
-    """Count (or list) k-cliques on an oriented SetGraph."""
+    """Count (or list) k-cliques on an oriented SetGraph.
+
+    Pure counting runs (no ``collect``, no pattern cutoff) use the
+    zero-materialization counting fast path at the deepest level,
+    batched over each candidate frontier when ``batch=True``.
+    """
     if k < 2:
         raise ConfigError("k must be at least 2")
     budget = PatternBudget(max_patterns)
@@ -76,7 +103,7 @@ def kclique_count_on(
             break
         ctx.begin_task()
         c2 = sg.neighborhood(u)
-        total += _count_from(ctx, sg, 2, k, c2, [u], budget, cliques)
+        total += _count_from(ctx, sg, 2, k, c2, [u], budget, cliques, batch)
     if collect:
         assert cliques is not None
         return cliques
@@ -93,13 +120,14 @@ def kclique_count(
     budget: float = 0.1,
     max_patterns: int | None = None,
     collect: bool = False,
+    batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
     """End-to-end k-clique counting/listing (kcc-k in the evaluation)."""
     ctx = make_context(threads=threads, mode=mode, **context_kwargs)
     __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
     output = kclique_count_on(
-        ctx, sg, k, max_patterns=max_patterns, collect=collect
+        ctx, sg, k, max_patterns=max_patterns, collect=collect, batch=batch
     )
     return AlgorithmRun(output=output, report=ctx.report(), context=ctx)
 
@@ -109,21 +137,62 @@ def four_clique_count_on(
     sg: SetGraph,
     *,
     max_patterns: int | None = None,
+    batch: bool = True,
 ) -> int:
-    """Table 4's specialized 4-clique snippet: no recursion needed."""
+    """Table 4's specialized 4-clique snippet: no recursion needed.
+
+    The inner ``|S1 ∩ N+(v3)|`` fan-out is one batched count burst per
+    wedge when ``batch=True`` and no pattern cutoff is active —
+    identical instruction stream and simulated cycles, minus the
+    interpreter overhead.
+    """
     budget = PatternBudget(max_patterns)
     count = 0
+    nbh = sg.neighborhood
+    if budget.limit is None:
+        # Batched formulation (identical instruction stream whether the
+        # ops run batched or scalar): materialize all wedge sets S1 of
+        # one vertex's frontier in one burst, then one count burst per
+        # wedge.
+        for v1 in range(sg.num_vertices):
+            ctx.begin_task()
+            out_v1 = nbh(v1)
+            vs2 = ctx.elements(out_v1).tolist()
+            if not vs2:
+                continue
+            nbh2 = [nbh(v2) for v2 in vs2]
+            if batch:
+                s1_ids = ctx.intersect_batch(out_v1, nbh2)
+            else:
+                s1_ids = [ctx.intersect(out_v1, nb) for nb in nbh2]
+            for s1 in s1_ids:
+                vs3 = ctx.elements(s1).tolist()
+                if vs3:
+                    if batch:
+                        found = int(
+                            ctx.intersect_count_batch(
+                                s1, [nbh(v3) for v3 in vs3]
+                            ).sum()
+                        )
+                    else:
+                        found = 0
+                        for v3 in vs3:
+                            found += ctx.intersect_count(s1, nbh(v3))
+                    count += found
+                    budget.count(found)
+                ctx.free(s1)
+        return count
     for v1 in range(sg.num_vertices):
         if budget.exhausted:
             break
         ctx.begin_task()
-        out_v1 = sg.neighborhood(v1)
+        out_v1 = nbh(v1)
         for v2 in ctx.elements(out_v1):
             if budget.exhausted:
                 break
-            s1 = ctx.intersect(out_v1, sg.neighborhood(int(v2)))
+            s1 = ctx.intersect(out_v1, nbh(int(v2)))
             for v3 in ctx.elements(s1):
-                found = ctx.intersect_count(s1, sg.neighborhood(int(v3)))
+                found = ctx.intersect_count(s1, nbh(int(v3)))
                 count += found
                 budget.count(found)
                 if budget.exhausted:
@@ -140,9 +209,10 @@ def four_clique_count(
     t: float = 0.4,
     budget: float = 0.1,
     max_patterns: int | None = None,
+    batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
     ctx = make_context(threads=threads, mode=mode, **context_kwargs)
     __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    count = four_clique_count_on(ctx, sg, max_patterns=max_patterns)
+    count = four_clique_count_on(ctx, sg, max_patterns=max_patterns, batch=batch)
     return AlgorithmRun(output=count, report=ctx.report(), context=ctx)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.common import AlgorithmRun, make_context
-from repro.algorithms.similarity import similarity_on
+from repro.algorithms.similarity import all_pairs_similarity_on
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
@@ -70,6 +70,7 @@ def link_prediction_effectiveness(
     *,
     removal_fraction: float = 0.1,
     measure: str = "jaccard",
+    batch: bool = True,
     top_k: int | None = None,
     candidate_limit: int | None = 20_000,
     threads: int = 32,
@@ -104,10 +105,9 @@ def link_prediction_effectiveness(
     )
 
     pairs = candidate_pairs(sparse_graph, limit=candidate_limit)
-    scores = np.zeros(len(pairs), dtype=np.float64)
-    for i, (u, v) in enumerate(pairs):
-        ctx.begin_task()
-        scores[i] = similarity_on(ctx, sg, int(u), int(v), measure=measure)
+    # Candidate scoring is the hot loop: batched count-form instruction
+    # bursts over runs of pairs sharing their first endpoint.
+    scores = all_pairs_similarity_on(ctx, sg, pairs, measure=measure, batch=batch)
     if top_k is None:
         top_k = removed_count
     top_k = min(top_k, len(pairs))

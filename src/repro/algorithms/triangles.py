@@ -15,15 +15,28 @@ from repro.runtime.setgraph import SetGraph
 
 
 def triangle_count_oriented(
-    digraph_sg: SetGraph, ctx: SisaContext
+    digraph_sg: SetGraph, ctx: SisaContext, *, batch: bool = True
 ) -> int:
-    """Count triangles on an already-oriented SetGraph."""
+    """Count triangles on an already-oriented SetGraph.
+
+    The per-edge ``|N+(u) ∩ N+(v)|`` counts of one vertex's out-
+    neighborhood are issued as one batched count burst (``batch=True``,
+    the default) — same instruction stream, same simulated cycles as
+    the scalar loop (``batch=False``), at NumPy speed.
+    """
     total = 0
     for u in range(digraph_sg.num_vertices):
         ctx.begin_task()
         out_u = digraph_sg.neighborhood(u)
-        for v in ctx.elements(out_u):
-            total += ctx.intersect_count(out_u, digraph_sg.neighborhood(int(v)))
+        nbrs = ctx.elements(out_u)
+        if batch:
+            if nbrs.size:
+                total += int(digraph_sg.neighborhood_counts(u, nbrs).sum())
+        else:
+            for v in nbrs:
+                total += ctx.intersect_count(
+                    out_u, digraph_sg.neighborhood(int(v))
+                )
     return total
 
 
@@ -34,12 +47,13 @@ def triangle_count(
     mode: str = "sisa",
     t: float = 0.4,
     budget: float = 0.1,
+    batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
     """End-to-end set-centric triangle counting."""
     ctx = make_context(threads=threads, mode=mode, **context_kwargs)
     __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    count = triangle_count_oriented(sg, ctx)
+    count = triangle_count_oriented(sg, ctx, batch=batch)
     return AlgorithmRun(output=count, report=ctx.report(), context=ctx)
 
 

@@ -92,16 +92,24 @@ class ExecutionEngine:
         self._lanes = [LaneState() for _ in range(threads)]
         self._current = 0
         self._sequential_overhead = 0.0
+        # Cached per-lane times for greedy placement.  Only the current
+        # lane accumulates cost between begin_task calls, so it is the
+        # only entry that can be stale; refreshing just that one keeps
+        # begin_task O(1) amortized with values identical to a full
+        # recompute.
+        self._lane_times = [0.0] * threads
 
     # -- task scheduling ---------------------------------------------------
 
     def begin_task(self) -> int:
         """Start a new task on the least-loaded lane (greedy placement);
         returns the lane index."""
-        times = [lane.time(self.bytes_per_cycle) for lane in self._lanes]
-        self._current = times.index(min(times))
-        self._lanes[self._current].tasks += 1
-        return self._current
+        times = self._lane_times
+        current = self._current
+        times[current] = self._lanes[current].time(self.bytes_per_cycle)
+        self._current = current = times.index(min(times))
+        self._lanes[current].tasks += 1
+        return current
 
     def charge(self, cost: Cost) -> None:
         """Charge a cost to the current task's lane."""
@@ -110,6 +118,33 @@ class ExecutionEngine:
     def charge_sequential(self, cost: Cost) -> None:
         """Charge a cost that cannot be parallelized (setup, reductions)."""
         self._sequential_overhead += cost.cycles(self.bytes_per_cycle)
+
+    def charge_batch(
+        self,
+        compute: list[float],
+        memory: list[float],
+        latency: list[float],
+    ) -> None:
+        """Charge a sequence of per-op cost components to the current
+        task's lane.
+
+        Components are accumulated op by op, in order — the float
+        additions are exactly the ones a sequence of :meth:`charge`
+        calls would perform, so batched and sequential execution yield
+        bit-identical lane times."""
+        lane = self._lanes[self._current]
+        acc = lane.compute_cycles
+        for x in compute:
+            acc += x
+        lane.compute_cycles = acc
+        acc = lane.memory_bytes
+        for x in memory:
+            acc += x
+        lane.memory_bytes = acc
+        acc = lane.latency_cycles
+        for x in latency:
+            acc += x
+        lane.latency_cycles = acc
 
     # -- reporting -----------------------------------------------------------
 

@@ -40,16 +40,31 @@ class SetMetadataTable:
         self._values: dict[int, VertexSet] = {}
         self._ids = itertools.count(1)
         self._next_address = 0x1000_0000
+        # Freed SM slots are recycled (id + SetMeta record) so hot
+        # create/free loops (e.g. per-edge intermediates in k-clique)
+        # do not grow the id space or re-allocate metadata records.
+        # Cost-model equivalent to fresh ids: the SCU invalidates the
+        # SMB entry on delete either way.
+        self._free: list[SetMeta] = []
 
     def register(self, value: VertexSet) -> int:
-        set_id = next(self._ids)
-        self._meta[set_id] = SetMeta(
-            set_id=set_id,
-            representation=value.representation,
-            cardinality=value.cardinality,
-            universe=value.universe,
-            address=self._next_address,
-        )
+        if self._free:
+            meta = self._free.pop()
+            set_id = meta.set_id
+            meta.representation = value.representation
+            meta.cardinality = value.cardinality
+            meta.universe = value.universe
+            meta.address = self._next_address
+        else:
+            set_id = next(self._ids)
+            meta = SetMeta(
+                set_id=set_id,
+                representation=value.representation,
+                cardinality=value.cardinality,
+                universe=value.universe,
+                address=self._next_address,
+            )
+        self._meta[set_id] = meta
         self._next_address += max(64, value.storage_bits // 8)
         self._values[set_id] = value
         return set_id
@@ -73,10 +88,27 @@ class SetMetadataTable:
         except KeyError:
             raise SetError(f"unknown set id {set_id}") from None
 
+    def metas_of(self, set_ids) -> list[SetMeta]:
+        """SM entries for a whole frontier (one metadata fetch phase)."""
+        meta = self._meta
+        try:
+            return [meta[s] for s in set_ids]
+        except KeyError as exc:
+            raise SetError(f"unknown set id {exc.args[0]}") from None
+
+    def values_of(self, set_ids) -> list[VertexSet]:
+        """Backing values for a whole frontier."""
+        values = self._values
+        try:
+            return [values[s] for s in set_ids]
+        except KeyError as exc:
+            raise SetError(f"unknown set id {exc.args[0]}") from None
+
     def delete(self, set_id: int) -> None:
-        self.meta(set_id)  # raise on unknown ids
+        meta = self.meta(set_id)  # raise on unknown ids
         del self._meta[set_id]
         del self._values[set_id]
+        self._free.append(meta)
 
     def __contains__(self, set_id: int) -> bool:
         return set_id in self._meta

@@ -58,6 +58,27 @@ class Dispatch:
     cost: Cost
 
 
+@dataclass
+class BatchDispatch:
+    """Outcome of one amortized SCU dispatch over a whole frontier.
+
+    Per-op decisions and cost components are kept as parallel lists so
+    the engine can accumulate them in exactly the order a sequential
+    instruction stream would have (simulated cycles stay identical);
+    only the Python-level dispatch overhead is amortized.
+    """
+
+    opcodes: list[Opcode]
+    backends: list[str]
+    variants: list[str]
+    compute: list[float]
+    memory: list[float]
+    latency: list[float]
+
+    def __len__(self) -> int:
+        return len(self.opcodes)
+
+
 class Scu:
     """Decides instruction variants and accounts their costs."""
 
@@ -78,6 +99,17 @@ class Scu:
         self.cpu = CpuBackend(cpu or CpuConfig())
         self.smb = LruCache(hw.smb_entries if smb_enabled else 0)
         self.stats = DispatchStats()
+        # Dispatch memoizes (variant decision, model cost) per
+        # operand-shape key.  The stored Cost is the exact object a
+        # fresh computation would produce, so memoized and fresh
+        # dispatches are bit-identical; only Python work is saved.
+        # Bounded (see _MEMO_LIMIT): materializing ops key on the
+        # output size, so long large-graph runs would otherwise grow
+        # the table without bound; past the cap, shapes are simply
+        # recomputed, which yields the same values.
+        self._decision_memo: dict[tuple, tuple] = {}
+
+    _MEMO_LIMIT = 1 << 16
 
     # ------------------------------------------------------------------
     # Metadata access costs
@@ -112,25 +144,190 @@ class Scu:
         output_size: int = 0,
         count_only: bool = False,
     ) -> Dispatch:
-        """Decide and cost a binary set operation ``a op b``."""
-        base = self._metadata_cost(a.set_id, b.set_id)
+        """Decide and cost a binary set operation ``a op b``.
+
+        The metadata phase (SCU dispatch + one SMB-cached SM lookup per
+        operand, plus the host's descriptor pointer chase in
+        ``host_fallback`` mode) is accumulated in the same order as
+        :meth:`_metadata_cost`; the variant decision and model cost are
+        memoized per operand shape (see :meth:`_decide`).
+        """
+        hw = self.hw
+        comp = hw.scu_dispatch_cycles
+        lat = 0.0
+        access = self.smb.access
+        if access(a.set_id):
+            comp += hw.sm_hit_cycles
+        else:
+            lat += hw.pnm_random_access_cycles
+        if access(b.set_id):
+            comp += hw.sm_hit_cycles
+        else:
+            lat += hw.pnm_random_access_cycles
         if self.host_fallback:
             # The host has no SCU/SMB: each set operation starts with a
             # dependent pointer chase to the operand descriptors.
-            base += Cost(latency_cycles=self.cpu.config.set_op_latency_cycles)
-        both_dense = a.is_dense and b.is_dense
-        if both_dense:
-            dispatch = self._dispatch_dense_pair(op, a, count_only=count_only)
-        elif a.is_dense or b.is_dense:
-            dispatch = self._dispatch_mixed(op, a, b, output_size=output_size)
-        else:
-            dispatch = self._dispatch_sparse_pair(
-                op, a, b, output_size=output_size
-            )
-        self.stats.record(dispatch.opcode)
-        return Dispatch(
-            dispatch.opcode, dispatch.backend, dispatch.variant, base + dispatch.cost
+            lat += self.cpu.config.set_op_latency_cycles
+        opcode, backend, variant, cost = self._decide(
+            op, a, b, output_size, count_only
         )
+        self.stats.record(opcode)
+        return Dispatch(
+            opcode,
+            backend,
+            variant,
+            Cost(
+                comp + cost.compute_cycles,
+                cost.memory_bytes,
+                lat + cost.latency_cycles,
+            ),
+        )
+
+    def _decide(
+        self,
+        op: SetOp,
+        a: SetMeta,
+        b: SetMeta,
+        output_size: int,
+        count_only: bool,
+    ) -> tuple[Opcode, str, str, Cost]:
+        """Variant decision + model cost, memoized per operand shape.
+
+        The memo caches the exact objects a fresh computation would
+        produce (the decision and cost only depend on the operand
+        shapes and the fixed hardware config), so memoized and fresh
+        dispatches are bit-identical; backend/variant statistics are
+        still updated per call.
+        """
+        stats = self.stats
+        dense = Representation.DENSE
+        a_dense = a.representation is dense
+        b_dense = b.representation is dense
+        if a_dense and b_dense:
+            key = ("d", op, count_only, a.universe)
+        elif a_dense or b_dense:
+            sparse_card = b.cardinality if a_dense else a.cardinality
+            key = ("m", op, a_dense, sparse_card, output_size)
+        else:
+            bigger = a if a.cardinality >= b.cardinality else b
+            key = (
+                "s",
+                op,
+                a.cardinality,
+                b.cardinality,
+                output_size,
+                bigger.representation is Representation.SPARSE_UNSORTED,
+            )
+        hit = self._decision_memo.get(key)
+        if hit is None:
+            if a_dense and b_dense:
+                d = self._dispatch_dense_pair(op, a, count_only=count_only)
+                picks = 0
+            elif a_dense or b_dense:
+                d = self._dispatch_mixed(op, a, b, output_size=output_size)
+                picks = 0
+            else:
+                before = stats.gallop_picks
+                d = self._dispatch_sparse_pair(op, a, b, output_size=output_size)
+                picks = 2 if stats.gallop_picks > before else 1
+            if len(self._decision_memo) < self._MEMO_LIMIT:
+                self._decision_memo[key] = (
+                    d.opcode, d.backend, d.variant, d.cost, picks,
+                )
+            return d.opcode, d.backend, d.variant, d.cost
+        opcode, backend, variant, cost, picks = hit
+        if backend == "pum":
+            stats.pum_ops += 1
+        elif backend == "pnm":
+            stats.pnm_ops += 1
+        else:
+            stats.host_ops += 1
+        if picks == 1:
+            stats.merge_picks += 1
+        elif picks == 2:
+            stats.gallop_picks += 1
+        return opcode, backend, variant, cost
+
+    def dispatch_binary_batch(
+        self,
+        op: SetOp,
+        a: SetMeta,
+        bs: list[SetMeta],
+        *,
+        output_sizes: list[int] | None = None,
+        count_only: bool = False,
+    ) -> BatchDispatch:
+        """Amortized dispatch of ``a op b_i`` for a whole frontier.
+
+        One SCU call replaces ``len(bs)`` :meth:`dispatch_binary` calls.
+        Per-op semantics are fully preserved: SMB accesses happen pair
+        by pair in instruction order (the LRU trajectory is identical),
+        per-op stats are recorded, and every per-op cost is computed by
+        the same models — float for float — as the sequential path, so
+        simulated cycle totals are identical.  What is amortized is the
+        Python-level dispatch overhead: operand metadata is fetched
+        once by the caller and variant decisions/model costs are
+        memoized per operand shape.
+        """
+        hw = self.hw
+        smb = self.smb
+        access = smb.access
+        stats = self.stats
+        by_opcode = stats.by_opcode
+        decide = self._decide
+        a_id = a.set_id
+        host = self.host_fallback
+        disp_c = hw.scu_dispatch_cycles
+        hit_c = hw.sm_hit_cycles
+        miss_c = hw.pnm_random_access_cycles
+        host_c = self.cpu.config.set_op_latency_cycles if host else 0.0
+        # After the first op touched A, the A lookup is a guaranteed SMB
+        # hit: A is at most second-most-recent, so no later insert can
+        # have evicted it (holds for any capacity >= 2).
+        a_resident = False
+        fast_a = smb.capacity >= 2
+        smb_entries = smb._entries
+        smb_stats = smb.stats
+        opcodes: list[Opcode] = []
+        backends: list[str] = []
+        variants: list[str] = []
+        compute: list[float] = []
+        memory: list[float] = []
+        latency: list[float] = []
+        for i, b in enumerate(bs):
+            # Metadata phase: identical accesses and float-accumulation
+            # order as `_metadata_cost(a_id, b_id)` + host latency.
+            comp = disp_c
+            lat = 0.0
+            if a_resident:
+                smb_entries.move_to_end(a_id)
+                smb_stats.hits += 1
+                comp += hit_c
+            elif access(a_id):
+                comp += hit_c
+                a_resident = fast_a
+            else:
+                lat += miss_c
+                a_resident = fast_a
+            if access(b.set_id):
+                comp += hit_c
+            else:
+                lat += miss_c
+            if host:
+                lat += host_c
+            output_size = 0 if output_sizes is None else output_sizes[i]
+            opcode, backend, variant, cost = decide(
+                op, a, b, output_size, count_only
+            )
+            by_opcode[opcode] = by_opcode.get(opcode, 0) + 1
+            opcodes.append(opcode)
+            backends.append(backend)
+            variants.append(variant)
+            compute.append(comp + cost.compute_cycles)
+            memory.append(cost.memory_bytes)
+            latency.append(lat + cost.latency_cycles)
+        stats.instructions += len(opcodes)
+        return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
 
     def _dispatch_dense_pair(
         self, op: SetOp, a: SetMeta, *, count_only: bool
@@ -313,10 +510,16 @@ class Scu:
         return Dispatch(Opcode.CREATE, "pnm", "alloc", cost)
 
     def dispatch_delete(self, a: SetMeta) -> Dispatch:
-        cost = self._metadata_cost(a.set_id)
+        hw = self.hw
+        comp = hw.scu_dispatch_cycles
+        lat = 0.0
+        if self.smb.access(a.set_id):
+            comp += hw.sm_hit_cycles
+        else:
+            lat += hw.pnm_random_access_cycles
         self.smb.invalidate(a.set_id)
         self.stats.record(Opcode.DELETE)
-        return Dispatch(Opcode.DELETE, "scu", "free", cost)
+        return Dispatch(Opcode.DELETE, "scu", "free", Cost(comp, 0.0, lat))
 
     def dispatch_clone(self, a: SetMeta) -> Dispatch:
         """Copy a set.  Dense clones are in-DRAM RowClone copies

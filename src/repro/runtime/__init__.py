@@ -1,5 +1,7 @@
-"""The SISA runtime: contexts, set graphs, software layer, traces."""
+"""The SISA runtime: contexts, set graphs, batched execution, software
+layer, traces."""
 
+from repro.runtime import batch
 from repro.runtime.api import CApi, SisaSet, c_api
 from repro.runtime.context import SisaContext
 from repro.runtime.setgraph import SetGraph
@@ -8,6 +10,7 @@ from repro.runtime.trace import Trace, TraceEvent
 __all__ = [
     "CApi",
     "SisaSet",
+    "batch",
     "c_api",
     "SisaContext",
     "SetGraph",

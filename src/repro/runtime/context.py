@@ -33,6 +33,7 @@ from repro.hw.engine import EngineReport, ExecutionEngine
 from repro.isa.metadata import SetMetadataTable
 from repro.isa.opcodes import Opcode, SetOp
 from repro.isa.scu import Scu
+from repro.runtime import batch as batchmod
 from repro.runtime.trace import Trace, TraceEvent
 from repro.sets import kernels
 from repro.sets.base import VertexSet
@@ -82,6 +83,9 @@ class SisaContext:
             bytes_per_cycle = self.cpu.effective_bandwidth_bytes_per_cycle(lanes)
             self.engine = ExecutionEngine(lanes, bytes_per_cycle)
         self._current_lane = 0
+        # Scan costs are pure functions of the set size; cache them so
+        # the per-iteration model bookkeeping stays off the hot path.
+        self._scan_costs: dict[int, Cost] = {}
 
     # ------------------------------------------------------------------
     # Task scheduling
@@ -161,61 +165,188 @@ class SisaContext:
     # Binary operations
     # ------------------------------------------------------------------
 
-    def _binary(
-        self, op: SetOp, a: int, b: int, *, count_only: bool
-    ) -> tuple[VertexSet, int]:
+    def _binary(self, op: SetOp, a: int, b: int) -> VertexSet:
+        """Materializing binary op: exact result plus modeled cost."""
         va, vb = self.sm.value(a), self.sm.value(b)
-        if op in (SetOp.INTERSECT, SetOp.INTERSECT_COUNT):
+        if op is SetOp.INTERSECT:
             result = kernels.intersect(va, vb)
-        elif op in (SetOp.UNION, SetOp.UNION_COUNT):
+        elif op is SetOp.UNION:
             result = kernels.union(va, vb)
         else:
             result = kernels.difference(va, vb)
-        output_size = 0 if count_only else result.cardinality
         dispatch = self.scu.dispatch_binary(
             op,
             self.sm.meta(a),
             self.sm.meta(b),
-            output_size=output_size,
-            count_only=count_only,
+            output_size=result.cardinality,
+            count_only=False,
         )
         self.engine.charge(dispatch.cost)
-        self.trace.record(
-            TraceEvent(
-                opcode=dispatch.opcode,
-                lane=self._current_lane,
-                size_a=va.cardinality,
-                size_b=vb.cardinality,
-                output_size=result.cardinality,
-                backend=dispatch.backend,
-                variant=dispatch.variant,
+        if self.trace.enabled:
+            self.trace.record(
+                TraceEvent(
+                    opcode=dispatch.opcode,
+                    lane=self._current_lane,
+                    size_a=va.cardinality,
+                    size_b=vb.cardinality,
+                    output_size=result.cardinality,
+                    backend=dispatch.backend,
+                    variant=dispatch.variant,
+                )
             )
+        return result
+
+    def _count(self, op: SetOp, a: int, b: int) -> int:
+        """Count-form binary op (§6.2.3): the result cardinality is
+        computed by the zero-materialization kernels — no result set is
+        allocated for any representation pair."""
+        va, vb = self.sm.value(a), self.sm.value(b)
+        if op is SetOp.INTERSECT_COUNT:
+            card = kernels.intersect_cardinality(va, vb)
+        elif op is SetOp.UNION_COUNT:
+            card = kernels.union_cardinality(va, vb)
+        else:
+            card = kernels.difference_cardinality(va, vb)
+        dispatch = self.scu.dispatch_binary(
+            op,
+            self.sm.meta(a),
+            self.sm.meta(b),
+            output_size=0,
+            count_only=True,
         )
-        return result, result.cardinality
+        self.engine.charge(dispatch.cost)
+        if self.trace.enabled:
+            self.trace.record(
+                TraceEvent(
+                    opcode=dispatch.opcode,
+                    lane=self._current_lane,
+                    size_a=va.cardinality,
+                    size_b=vb.cardinality,
+                    output_size=card,
+                    backend=dispatch.backend,
+                    variant=dispatch.variant,
+                )
+            )
+        return card
 
     def intersect(self, a: int, b: int) -> int:
-        result, __ = self._binary(SetOp.INTERSECT, a, b, count_only=False)
-        return self.sm.register(result)
+        return self.sm.register(self._binary(SetOp.INTERSECT, a, b))
 
     def union(self, a: int, b: int) -> int:
-        result, __ = self._binary(SetOp.UNION, a, b, count_only=False)
-        return self.sm.register(result)
+        return self.sm.register(self._binary(SetOp.UNION, a, b))
 
     def difference(self, a: int, b: int) -> int:
-        result, __ = self._binary(SetOp.DIFFERENCE, a, b, count_only=False)
-        return self.sm.register(result)
+        return self.sm.register(self._binary(SetOp.DIFFERENCE, a, b))
 
     def intersect_count(self, a: int, b: int) -> int:
-        __, card = self._binary(SetOp.INTERSECT_COUNT, a, b, count_only=True)
-        return card
+        return self._count(SetOp.INTERSECT_COUNT, a, b)
 
     def union_count(self, a: int, b: int) -> int:
-        __, card = self._binary(SetOp.UNION_COUNT, a, b, count_only=True)
-        return card
+        return self._count(SetOp.UNION_COUNT, a, b)
 
     def difference_count(self, a: int, b: int) -> int:
-        __, card = self._binary(SetOp.DIFFERENCE_COUNT, a, b, count_only=True)
-        return card
+        return self._count(SetOp.DIFFERENCE_COUNT, a, b)
+
+    # ------------------------------------------------------------------
+    # Batched count operations (amortized dispatch over a frontier)
+    # ------------------------------------------------------------------
+
+    def _count_batch(self, op: SetOp, kind: str, a: int, bs) -> np.ndarray:
+        """Count-form ``a op b_i`` for a whole frontier ``bs``.
+
+        Functionally one vectorized kernel over the concatenated
+        operand arrays (see :mod:`repro.runtime.batch`); timing-wise an
+        amortized SCU dispatch whose per-op costs, stats and SMB
+        behaviour — and therefore simulated cycles — are identical to
+        issuing the ops sequentially on the current task's lane.
+        """
+        sm = self.sm
+        n = len(bs)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        va = sm.value(a)
+        values = sm.values_of(bs)
+        metas = sm.metas_of(bs)
+        inter = batchmod.intersect_counts(va, values)
+        if kind == "intersect":
+            counts = inter
+        else:
+            cards = np.fromiter((m.cardinality for m in metas), np.int64, n)
+            counts = batchmod.derive_counts(kind, va.cardinality, cards, inter)
+        bd = self.scu.dispatch_binary_batch(op, sm.meta(a), metas, count_only=True)
+        self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if self.trace.enabled:
+            size_a = va.cardinality
+            lane = self._current_lane
+            for i, meta in enumerate(metas):
+                self.trace.record(
+                    TraceEvent(
+                        opcode=bd.opcodes[i],
+                        lane=lane,
+                        size_a=size_a,
+                        size_b=meta.cardinality,
+                        output_size=int(counts[i]),
+                        backend=bd.backends[i],
+                        variant=bd.variants[i],
+                    )
+                )
+        return counts
+
+    def intersect_batch(self, a: int, bs) -> list[int]:
+        """Materializing batched intersection ``A ∩ B_i`` over a
+        frontier: returns one new set id per operand.
+
+        Functionally one vectorized probe pass (results are zero-copy
+        slices of the flattened hit array); the modeled cost, stats and
+        SMB behaviour are identical to issuing the ``intersect`` ops
+        sequentially (results are registered after the dispatch phase,
+        which charges nothing and touches no modeled state)."""
+        if not len(bs):
+            return []
+        sm = self.sm
+        va = sm.value(a)
+        values = sm.values_of(bs)
+        metas = sm.metas_of(bs)
+        results = batchmod.intersect_values(va, values)
+        output_sizes = [r.cardinality for r in results]
+        bd = self.scu.dispatch_binary_batch(
+            SetOp.INTERSECT,
+            sm.meta(a),
+            metas,
+            output_sizes=output_sizes,
+            count_only=False,
+        )
+        self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if self.trace.enabled:
+            size_a = va.cardinality
+            lane = self._current_lane
+            for i, meta in enumerate(metas):
+                self.trace.record(
+                    TraceEvent(
+                        opcode=bd.opcodes[i],
+                        lane=lane,
+                        size_a=size_a,
+                        size_b=meta.cardinality,
+                        output_size=output_sizes[i],
+                        backend=bd.backends[i],
+                        variant=bd.variants[i],
+                    )
+                )
+        register = sm.register
+        return [register(r) for r in results]
+
+    def intersect_count_batch(self, a: int, bs) -> np.ndarray:
+        """``|A ∩ B_i|`` for every set id in ``bs`` (one batched
+        instruction burst; no result sets are materialized)."""
+        return self._count_batch(SetOp.INTERSECT_COUNT, "intersect", a, bs)
+
+    def union_count_batch(self, a: int, bs) -> np.ndarray:
+        """``|A ∪ B_i|`` for every set id in ``bs``."""
+        return self._count_batch(SetOp.UNION_COUNT, "union", a, bs)
+
+    def difference_count_batch(self, a: int, bs) -> np.ndarray:
+        """``|A \\ B_i|`` for every set id in ``bs``."""
+        return self._count_batch(SetOp.DIFFERENCE_COUNT, "difference", a, bs)
 
     def intersect_many(self, *set_ids: int) -> int:
         """CISC-style multi-set intersection ``A1 ∩ ... ∩ Al`` in one
@@ -265,32 +396,30 @@ class SisaContext:
             memory_bytes=result.cardinality * self.hw.word_bits / 8
         )
         self.engine.charge(total_cost)
-        self.trace.record(
-            TraceEvent(
-                opcode=Opcode.INTERSECT_MANY,
-                lane=self._current_lane,
-                size_a=sizes_trace[0][0] if sizes_trace else 0,
-                size_b=sizes_trace[0][1] if sizes_trace else 0,
-                output_size=result.cardinality,
-                backend="pim",
-                variant="chained",
+        if self.trace.enabled:
+            self.trace.record(
+                TraceEvent(
+                    opcode=Opcode.INTERSECT_MANY,
+                    lane=self._current_lane,
+                    size_a=sizes_trace[0][0] if sizes_trace else 0,
+                    size_b=sizes_trace[0][1] if sizes_trace else 0,
+                    output_size=result.cardinality,
+                    backend="pim",
+                    variant="chained",
+                )
             )
-        )
         return self.sm.register(result)
 
     # In-place variants ("∩=", "∪=", "\\=" in the listings).
 
     def intersect_into(self, a: int, b: int) -> None:
-        result, __ = self._binary(SetOp.INTERSECT, a, b, count_only=False)
-        self.sm.update(a, result)
+        self.sm.update(a, self._binary(SetOp.INTERSECT, a, b))
 
     def union_into(self, a: int, b: int) -> None:
-        result, __ = self._binary(SetOp.UNION, a, b, count_only=False)
-        self.sm.update(a, result)
+        self.sm.update(a, self._binary(SetOp.UNION, a, b))
 
     def difference_into(self, a: int, b: int) -> None:
-        result, __ = self._binary(SetOp.DIFFERENCE, a, b, count_only=False)
-        self.sm.update(a, result)
+        self.sm.update(a, self._binary(SetOp.DIFFERENCE, a, b))
 
     # ------------------------------------------------------------------
     # Scalar / element operations
@@ -328,10 +457,14 @@ class SisaContext:
         """Iterate a set (the software layer's set iterator): streams
         the set out of memory once."""
         value = self.sm.value(set_id)
-        if self.mode == "cpu-set":
-            cost = self.scu.cpu.neighborhood_scan(value.cardinality)
-        else:
-            cost = self.scu.pnm.scan(value.cardinality)
+        size = value.cardinality
+        cost = self._scan_costs.get(size)
+        if cost is None:
+            if self.mode == "cpu-set":
+                cost = self.scu.cpu.neighborhood_scan(size)
+            else:
+                cost = self.scu.pnm.scan(size)
+            self._scan_costs[size] = cost
         self.engine.charge(cost)
         return value.to_array()
 

@@ -1,0 +1,29 @@
+"""Portable word-level popcount.
+
+``np.bitwise_count`` only exists on NumPy >= 2.0.  On older NumPy we
+fall back to an ``unpackbits``-based popcount so the package still
+imports (and stays correct, just slower) on NumPy 1.x.
+
+Both implementations take an array of ``uint64`` words (any shape) and
+return the per-word popcount; callers typically ``.sum()`` the result
+to get a set cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _popcount_unpackbits(words: np.ndarray) -> np.ndarray:
+    """NumPy 1.x fallback: expand each 64-bit word to 64 bits and sum."""
+    w = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    if w.size == 0:
+        return np.zeros(w.shape, dtype=np.uint8)
+    bits = np.unpackbits(w.view(np.uint8).reshape(w.shape + (8,)), axis=-1)
+    return bits.sum(axis=-1, dtype=np.uint8)
+
+
+if hasattr(np, "bitwise_count"):
+    popcount = np.bitwise_count
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    popcount = _popcount_unpackbits

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import SetError
 from repro.sets.base import Representation, VertexSet
+from repro.sets.bitops import popcount
 
 WORD = 64
 
@@ -42,7 +43,7 @@ class DenseBitvector(VertexSet):
         self._words = words
         self._universe = int(universe)
         if cardinality is None:
-            cardinality = int(np.bitwise_count(self._words).sum())
+            cardinality = int(popcount(self._words).sum())
         self._cardinality = cardinality
 
     # -- constructors ---------------------------------------------------

@@ -10,6 +10,14 @@ Output-representation convention (matches the paper's Figure 4 flow):
 
 * DB op DB  -> DB (in-situ bulk bitwise),
 * anything involving an SA -> SA (produced by a near-memory core).
+
+All SA kernels exploit the sorted invariant: neighborhood SAs are
+sorted, so membership probes of a sorted probe array produce hits that
+are already in order and never need re-sorting.  The count-only
+kernels (``*_cardinality`` plus the per-pair ``*_count_*`` functions)
+realize the paper's Section 6.2.3 cardinality-of-result instructions:
+they return the result size without allocating a result set for *any*
+representation pair.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import numpy as np
 
 from repro.errors import SetError
 from repro.sets.base import Representation, VertexSet
+from repro.sets.bitops import popcount
 from repro.sets.dense import DenseBitvector
 from repro.sets.sparse import ELEMENT_DTYPE, SparseArray
 
@@ -30,42 +39,89 @@ def _check_universe(a: VertexSet, b: VertexSet) -> int:
     return a.universe
 
 
+def _probe_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``needles``: which occur in sorted ``haystack``.
+
+    One vectorized binary-search pass; ``needles`` may be unsorted.
+    """
+    if haystack.size == 0 or needles.size == 0:
+        return np.zeros(needles.size, dtype=bool)
+    idx = np.searchsorted(haystack, needles)
+    np.minimum(idx, haystack.size - 1, out=idx)
+    return haystack[idx] == needles
+
+
+def _probe_bits(words: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``needles``: which bits are set in a DB's words."""
+    bits = (words[needles // 64] >> (needles % 64).astype(np.uint64)) & np.uint64(1)
+    return bits.astype(bool)
+
+
+def _merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted, *disjoint* arrays into one sorted array.
+
+    Scatter-based: the final slot of ``a[i]`` is ``i`` plus the number
+    of ``b`` elements below it (and symmetrically for ``b``), so two
+    ``searchsorted`` passes replace the concatenate-and-resort that
+    ``np.union1d`` would do.
+    """
+    out = np.empty(a.size + b.size, dtype=ELEMENT_DTYPE)
+    out[np.arange(a.size) + np.searchsorted(b, a)] = a
+    out[np.arange(b.size) + np.searchsorted(a, b)] = b
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Intersection
 # ---------------------------------------------------------------------------
 
 def intersect_merge(a: SparseArray, b: SparseArray) -> SparseArray:
-    """Merge-based SA intersection: O(|A| + |B|) streaming (opcode 0x0)."""
+    """Merge-based SA intersection: O(|A| + |B|) streaming (opcode 0x0).
+
+    Functionally realized as a membership probe of the smaller sorted
+    array into the larger (the output is identical to a two-pointer
+    merge); hits of a sorted probe array are already sorted, so no
+    re-sort is needed.
+    """
     n = _check_universe(a, b)
-    result = np.intersect1d(a.to_array(), b.to_array(), assume_unique=True)
-    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+    arr_a, arr_b = a.to_array(), b.to_array()
+    small, big = (arr_a, arr_b) if arr_a.size <= arr_b.size else (arr_b, arr_a)
+    return SparseArray.from_sorted(small[_probe_sorted(big, small)], n)
 
 
 def intersect_gallop(a: SparseArray, b: SparseArray) -> SparseArray:
-    """Galloping SA intersection: binary-search the smaller set's
-    elements in the larger set, O(min * log max) (opcode 0x1)."""
+    """Galloping SA intersection, O(min * log max) (opcode 0x1).
+
+    Search strategy: one vectorized binary search (``searchsorted``) of
+    every element of the smaller set into the larger sorted set — the
+    batched equivalent of per-element galloping; the timing model
+    (``repro.isa.perfmodel``) prices it as ``l_M * min * log2(max)``.
+    The smaller operand is probed in storage order, so when it is a
+    sorted SA the hits come out sorted and the final sort is skipped.
+    """
     n = _check_universe(a, b)
     small, big = (a, b) if a.cardinality <= b.cardinality else (b, a)
     small_arr = small.elements
-    big_arr = big.to_array()
-    if small_arr.size == 0 or big_arr.size == 0:
-        return SparseArray.empty(n)
-    idx = np.searchsorted(big_arr, small_arr)
-    idx = np.minimum(idx, big_arr.size - 1)
-    hits = small_arr[big_arr[idx] == small_arr]
-    return SparseArray.from_sorted(np.sort(hits), n)
+    hits = small_arr[_probe_sorted(big.to_array(), small_arr)]
+    if not small.is_sorted:
+        hits = np.sort(hits)
+    return SparseArray.from_sorted(hits, n)
 
 
 def intersect_sa_db(a: SparseArray, b: DenseBitvector) -> SparseArray:
-    """SA ∩ DB: iterate the SA, O(1) bit probes into the DB (opcode 0x3)."""
+    """SA ∩ DB: iterate the SA, O(1) bit probes into the DB (opcode 0x3).
+
+    Probe hits preserve the SA's storage order, so a sorted input SA
+    yields sorted hits with no extra sort.
+    """
     n = _check_universe(a, b)
     arr = a.elements
     if arr.size == 0:
         return SparseArray.empty(n)
-    words = b.words
-    bits = (words[arr // 64] >> (arr % 64).astype(np.uint64)) & np.uint64(1)
-    hits = arr[bits.astype(bool)]
-    return SparseArray.from_sorted(np.sort(hits), n)
+    hits = arr[_probe_bits(b.words, arr)]
+    if not a.is_sorted:
+        hits = np.sort(hits)
+    return SparseArray.from_sorted(hits, n)
 
 
 def intersect_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
@@ -79,9 +135,12 @@ def intersect_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
 # ---------------------------------------------------------------------------
 
 def union_merge(a: SparseArray, b: SparseArray) -> SparseArray:
+    """SA ∪ SA via probe + scatter-merge of the sorted inputs (no
+    concatenate-and-resort as in ``np.union1d``)."""
     n = _check_universe(a, b)
-    result = np.union1d(a.to_array(), b.to_array())
-    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+    arr_a, arr_b = a.to_array(), b.to_array()
+    b_only = arr_b[~_probe_sorted(arr_a, arr_b)]
+    return SparseArray.from_sorted(_merge_sorted_disjoint(arr_a, b_only), n)
 
 
 def union_sa_db(a: SparseArray, b: DenseBitvector) -> DenseBitvector:
@@ -107,35 +166,35 @@ def union_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
 # ---------------------------------------------------------------------------
 
 def difference_merge(a: SparseArray, b: SparseArray) -> SparseArray:
+    """SA \\ SA: membership probe of A into B, keep the misses."""
     n = _check_universe(a, b)
-    result = np.setdiff1d(a.to_array(), b.to_array(), assume_unique=True)
-    return SparseArray.from_sorted(result.astype(ELEMENT_DTYPE), n)
+    arr_a = a.to_array()
+    return SparseArray.from_sorted(arr_a[~_probe_sorted(b.to_array(), arr_a)], n)
 
 
 def difference_gallop(a: SparseArray, b: SparseArray) -> SparseArray:
-    """Galloping difference: probe each element of A in B."""
+    """Galloping difference: binary-search each element of A in B (same
+    vectorized ``searchsorted`` strategy as :func:`intersect_gallop`).
+    A sorted A yields sorted survivors, skipping the final sort."""
     n = _check_universe(a, b)
     arr = a.elements
-    b_arr = b.to_array()
-    if arr.size == 0:
-        return SparseArray.empty(n)
-    if b_arr.size == 0:
-        return SparseArray.from_sorted(np.sort(arr), n)
-    idx = np.minimum(np.searchsorted(b_arr, arr), b_arr.size - 1)
-    keep = arr[b_arr[idx] != arr]
-    return SparseArray.from_sorted(np.sort(keep), n)
+    keep = arr[~_probe_sorted(b.to_array(), arr)]
+    if not a.is_sorted:
+        keep = np.sort(keep)
+    return SparseArray.from_sorted(keep, n)
 
 
 def difference_sa_db(a: SparseArray, b: DenseBitvector) -> SparseArray:
-    """SA \\ DB: iterate A with O(1) bit probes."""
+    """SA \\ DB: iterate A with O(1) bit probes (order-preserving, so a
+    sorted A needs no re-sort)."""
     n = _check_universe(a, b)
     arr = a.elements
     if arr.size == 0:
         return SparseArray.empty(n)
-    words = b.words
-    bits = (words[arr // 64] >> (arr % 64).astype(np.uint64)) & np.uint64(1)
-    keep = arr[~bits.astype(bool)]
-    return SparseArray.from_sorted(np.sort(keep), n)
+    keep = arr[~_probe_bits(b.words, arr)]
+    if not a.is_sorted:
+        keep = np.sort(keep)
+    return SparseArray.from_sorted(keep, n)
 
 
 def difference_db_sa(a: DenseBitvector, b: SparseArray) -> DenseBitvector:
@@ -155,6 +214,93 @@ def difference_db_db(a: DenseBitvector, b: DenseBitvector) -> DenseBitvector:
     in-situ NOT then AND)."""
     n = _check_universe(a, b)
     return DenseBitvector(a.words & ~b.words, n)
+
+
+# ---------------------------------------------------------------------------
+# Count-only kernels (§6.2.3): result sizes with zero materialization
+# ---------------------------------------------------------------------------
+
+def intersect_count_sa_sa(a: SparseArray, b: SparseArray) -> int:
+    """|A ∩ B| for two SAs: probe the smaller into the larger and count
+    hits — no result array is ever allocated."""
+    small, big = (a, b) if a.cardinality <= b.cardinality else (b, a)
+    return int(np.count_nonzero(_probe_sorted(big.to_array(), small.elements)))
+
+
+def intersect_count_sa_db(a: SparseArray, b: DenseBitvector) -> int:
+    """|A ∩ B| for SA vs DB: count set bits under the SA's elements."""
+    arr = a.elements
+    if arr.size == 0:
+        return 0
+    return int(np.count_nonzero(_probe_bits(b.words, arr)))
+
+
+def intersect_count_db_db(a: DenseBitvector, b: DenseBitvector) -> int:
+    """|A ∩ B| for two DBs: popcount of the bitwise AND."""
+    return int(popcount(a.words & b.words).sum())
+
+
+def intersect_cardinality(a: VertexSet, b: VertexSet) -> int:
+    """``|A ∩ B|`` without materializing the result (paper §6.2.3:
+    dedicated cardinality-of-result instructions avoid intermediates).
+    True for every representation pair — no kernel here allocates a
+    result set."""
+    _check_universe(a, b)
+    if isinstance(a, DenseBitvector):
+        if isinstance(b, DenseBitvector):
+            return intersect_count_db_db(a, b)
+        return intersect_count_sa_db(b, a)
+    if isinstance(b, DenseBitvector):
+        return intersect_count_sa_db(a, b)
+    return intersect_count_sa_sa(a, b)
+
+
+def union_cardinality(a: VertexSet, b: VertexSet) -> int:
+    """``|A ∪ B| = |A| + |B| - |A ∩ B|``."""
+    return a.cardinality + b.cardinality - intersect_cardinality(a, b)
+
+
+def difference_cardinality(a: VertexSet, b: VertexSet) -> int:
+    """``|A \\ B| = |A| - |A ∩ B|``."""
+    return a.cardinality - intersect_cardinality(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Batched count primitives: one vectorized pass over a whole frontier
+# ---------------------------------------------------------------------------
+
+def _segment_counts(hits: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment hit counts for concatenated segments.
+
+    ``offsets`` is a CSR-style boundary array of length ``k + 1``; the
+    cumulative-sum formulation handles empty segments (which
+    ``np.add.reduceat`` would mishandle)."""
+    cum = np.zeros(hits.size + 1, dtype=np.int64)
+    np.cumsum(hits, dtype=np.int64, out=cum[1:])
+    return cum[offsets[1:]] - cum[offsets[:-1]]
+
+
+def intersect_count_flat_sa(
+    probe_sorted: np.ndarray, flat: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """``|P ∩ S_i|`` for every segment ``S_i`` of ``flat``.
+
+    ``flat`` concatenates the element arrays of many SAs (CSR-style
+    boundaries in ``offsets``); one ``searchsorted`` pass over the whole
+    frontier replaces per-set kernel launches."""
+    if flat.size == 0 or probe_sorted.size == 0:
+        return np.zeros(offsets.size - 1, dtype=np.int64)
+    return _segment_counts(_probe_sorted(probe_sorted, flat), offsets)
+
+
+def intersect_count_flat_db(
+    words: np.ndarray, flat: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """``|P ∩ S_i]`` where P is a dense bitvector: one vectorized bit
+    probe of the whole concatenated frontier."""
+    if flat.size == 0:
+        return np.zeros(offsets.size - 1, dtype=np.int64)
+    return _segment_counts(_probe_bits(words, flat), offsets)
 
 
 # ---------------------------------------------------------------------------
@@ -192,20 +338,3 @@ def difference(a: VertexSet, b: VertexSet) -> VertexSet:
         return difference_db_sa(a, b)
     assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
     return difference_merge(a, b)
-
-
-def intersect_cardinality(a: VertexSet, b: VertexSet) -> int:
-    """``|A ∩ B|`` without materializing the result (paper §6.2.3:
-    dedicated cardinality-of-result instructions avoid intermediates)."""
-    if isinstance(a, DenseBitvector) and isinstance(b, DenseBitvector):
-        return int(np.bitwise_count(a.words & b.words).sum())
-    return intersect(a, b).cardinality
-
-
-def union_cardinality(a: VertexSet, b: VertexSet) -> int:
-    """``|A ∪ B| = |A| + |B| - |A ∩ B|``."""
-    return a.cardinality + b.cardinality - intersect_cardinality(a, b)
-
-
-def difference_cardinality(a: VertexSet, b: VertexSet) -> int:
-    return a.cardinality - intersect_cardinality(a, b)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.algorithms.common import AlgorithmRun, make_context
 from repro.algorithms.similarity import (
-    COUNT_MEASURES,
+    BATCHABLE_MEASURES,
     iter_shared_first_runs,
     similarity_batch_on,
     similarity_on,
@@ -37,12 +37,13 @@ def jarvis_patrick_on(
 ) -> list[tuple[int, int]]:
     """Edges whose endpoint similarity exceeds tau.
 
-    With ``batch=True`` (and a cardinality-only measure), each vertex's
-    edge run is scored as one batched count burst over its incident
-    edges instead of one instruction dispatch per edge."""
+    With ``batch=True`` (and a batchable measure — all cardinality-only
+    measures plus Adamic-Adar / Resource Allocation), each vertex's
+    edge run is scored as one batched instruction burst over its
+    incident edges instead of one dispatch per edge."""
     kept: list[tuple[int, int]] = []
     edges = graph.edge_array()
-    if batch and measure in COUNT_MEASURES:
+    if batch and measure in BATCHABLE_MEASURES:
         for u, i, j in iter_shared_first_runs(edges):
             ctx.begin_task()
             run = edges[i:j]

@@ -17,8 +17,24 @@ from repro.graphs.properties import (
     degeneracy,
     is_heavy_tailed,
 )
+from repro.graphs.streams import (
+    EdgeBatch,
+    EdgeStream,
+    canonical_edges,
+    churn_stream,
+    insert_only_stream,
+    rmat_churn_stream,
+    sliding_window_stream,
+)
 
 __all__ = [
+    "EdgeBatch",
+    "EdgeStream",
+    "canonical_edges",
+    "churn_stream",
+    "insert_only_stream",
+    "rmat_churn_stream",
+    "sliding_window_stream",
     "CSRGraph",
     "DiGraph",
     "orient_by_order",

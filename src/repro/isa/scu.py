@@ -491,6 +491,87 @@ class Scu:
         self.stats.record(opcode)
         return Dispatch(opcode, backend, variant, cost)
 
+    def dispatch_element_update_batch(
+        self,
+        metas: list[SetMeta],
+        cardinalities: list[int],
+        *,
+        insert: bool,
+    ) -> BatchDispatch:
+        """Amortized dispatch of a whole element-update burst.
+
+        ``metas[i]`` is the SM entry of the set the i-th update targets
+        and ``cardinalities[i]`` the cardinality that update observes
+        (the caller advances it as earlier updates of the burst take
+        effect, exactly as the sequential stream's ``sm.update`` calls
+        would).  Per-op semantics are preserved: SMB accesses happen
+        update by update in instruction order, per-op stats are
+        recorded, and each per-op cost is computed by the same models —
+        float for float — as :meth:`dispatch_element_update`, so
+        simulated cycles are identical to the sequential stream.  Only
+        the Python-level dispatch overhead is amortized (the variant
+        decision and model cost are memoized per operand shape).
+        """
+        hw = self.hw
+        access = self.smb.access
+        stats = self.stats
+        by_opcode = stats.by_opcode
+        memo = self._decision_memo
+        host = self.host_fallback
+        disp_c = hw.scu_dispatch_cycles
+        hit_c = hw.sm_hit_cycles
+        miss_c = hw.pnm_random_access_cycles
+        opcodes: list[Opcode] = []
+        backends: list[str] = []
+        variants: list[str] = []
+        compute: list[float] = []
+        memory: list[float] = []
+        latency: list[float] = []
+        for meta, card in zip(metas, cardinalities):
+            comp = disp_c
+            lat = 0.0
+            if access(meta.set_id):
+                comp += hit_c
+            else:
+                lat += miss_c
+            dense = meta.is_dense
+            key = ("e", insert, dense, 0 if dense else card)
+            hit = memo.get(key)
+            if hit is None:
+                if dense:
+                    opcode = Opcode.INSERT_DB if insert else Opcode.REMOVE_DB
+                    cost = self.cpu.bit_write() if host else self.pum.bit_write()
+                    backend = "host" if host else "pum"
+                    variant = "bitwrite"
+                else:
+                    opcode = Opcode.INSERT_SA if insert else Opcode.REMOVE_SA
+                    cost = (
+                        self.cpu.element_update_sa(card)
+                        if host
+                        else self.pnm.element_update_sa(card)
+                    )
+                    backend = "host" if host else "pnm"
+                    variant = "shift"
+                if len(memo) < self._MEMO_LIMIT:
+                    memo[key] = (opcode, backend, variant, cost, 0)
+            else:
+                opcode, backend, variant, cost, _ = hit
+            if host:
+                stats.host_ops += 1
+            elif dense:
+                stats.pum_ops += 1
+            else:
+                stats.pnm_ops += 1
+            by_opcode[opcode] = by_opcode.get(opcode, 0) + 1
+            opcodes.append(opcode)
+            backends.append(backend)
+            variants.append(variant)
+            compute.append(comp + cost.compute_cycles)
+            memory.append(cost.memory_bytes)
+            latency.append(lat + cost.latency_cycles)
+        stats.instructions += len(opcodes)
+        return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
+
     def dispatch_create(self, size: int, *, dense: bool, universe: int) -> Dispatch:
         """Allocate + initialize a set.
 

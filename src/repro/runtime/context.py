@@ -442,7 +442,7 @@ class SisaContext:
         )
         self.engine.charge(dispatch.cost)
         value = self.sm.value(set_id)
-        self.sm.update(set_id, value.with_element(x))  # type: ignore[attr-defined]
+        self.sm.update(set_id, value.with_element(x))
 
     def remove(self, set_id: int, x: int) -> None:
         """``A \\= {x}`` (Table 5 opcode 0x6 for DBs)."""
@@ -451,7 +451,111 @@ class SisaContext:
         )
         self.engine.charge(dispatch.cost)
         value = self.sm.value(set_id)
-        self.sm.update(set_id, value.without_element(x))  # type: ignore[attr-defined]
+        self.sm.update(set_id, value.without_element(x))
+
+    # ------------------------------------------------------------------
+    # Batched element updates (amortized dispatch over an update burst)
+    # ------------------------------------------------------------------
+
+    def _element_update_batch(self, updates, *, insert: bool) -> np.ndarray:
+        """Apply ``(set_id, x)`` element updates as one dispatch burst.
+
+        Functionally each target set is rewritten once by a bulk
+        ``with_elements``/``without_elements`` merge; timing-wise the
+        SCU dispatches one element-update instruction per requested
+        update, in stream order, each observing the cardinality the
+        equivalent sequential ``insert``/``remove`` stream would have
+        seen (no-op updates — element already present/absent — still
+        dispatch and pay, exactly like the scalar path).  Returns a
+        bool array marking which updates took effect (the changed-bit
+        an update instruction reports back).
+        """
+        n = len(updates)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        sm = self.sm
+        # Group updates per target set, remembering stream positions.
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for pos, (set_id, x) in enumerate(updates):
+            groups.setdefault(int(set_id), []).append((pos, int(x)))
+        metas = [sm.meta(int(set_id)) for set_id, _ in updates]
+        cards = [0] * n
+        effective = np.zeros(n, dtype=bool)
+        new_values: list[tuple[int, VertexSet]] = []
+        for set_id, items in groups.items():
+            value = sm.value(set_id)
+            xs = np.asarray([x for _, x in items], dtype=np.int64)
+            present = value.contains_many(xs)
+            card = value.cardinality
+            applied: set[int] = set()
+            changed: list[int] = []
+            for (pos, x), was_present in zip(items, present):
+                cards[pos] = card
+                takes_effect = (
+                    (not was_present and x not in applied)
+                    if insert
+                    else (was_present and x not in applied)
+                )
+                if takes_effect:
+                    applied.add(x)
+                    changed.append(x)
+                    card += 1 if insert else -1
+                    effective[pos] = True
+            if changed:
+                arr = np.asarray(changed, dtype=np.int64)
+                new_values.append(
+                    (set_id, value.with_elements(arr) if insert else value.without_elements(arr))
+                )
+        bd = self.scu.dispatch_element_update_batch(metas, cards, insert=insert)
+        self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        for set_id, value in new_values:
+            sm.update(set_id, value)
+        return effective
+
+    def insert_batch(self, updates) -> np.ndarray:
+        """Batched ``A_i ∪= {x_i}`` for ``(set_id, x)`` pairs: one
+        amortized dispatch burst, cycle-identical to the sequential
+        ``insert`` stream."""
+        return self._element_update_batch(updates, insert=True)
+
+    def remove_batch(self, updates) -> np.ndarray:
+        """Batched ``A_i \\= {x_i}`` for ``(set_id, x)`` pairs."""
+        return self._element_update_batch(updates, insert=False)
+
+    def convert_representation(self, set_id: int, *, dense: bool) -> bool:
+        """Re-materialize a set in the other representation (SA ↔ DB).
+
+        The paper fixes representations at program start (Section 6.1);
+        a streaming workload re-decides them as neighborhoods grow or
+        shrink across the density threshold.  Modeled as one streaming
+        read of the old representation plus a CREATE of the new one;
+        the logical set id (and its SM entry) is preserved.  Returns
+        True when a conversion actually happened.
+        """
+        value = self.sm.value(set_id)
+        if isinstance(value, DenseBitvector) == dense:
+            return False
+        size = value.cardinality
+        cost = self._scan_costs.get(size)
+        if cost is None:
+            if self.mode == "cpu-set":
+                cost = self.scu.cpu.neighborhood_scan(size)
+            else:
+                cost = self.scu.pnm.scan(size)
+            self._scan_costs[size] = cost
+        self.engine.charge(cost)
+        dispatch = self.scu.dispatch_create(
+            size, dense=dense, universe=value.universe
+        )
+        self.engine.charge(dispatch.cost)
+        arr = value.to_array()
+        new_value: VertexSet
+        if dense:
+            new_value = DenseBitvector.from_elements(arr, value.universe)
+        else:
+            new_value = SparseArray.from_sorted(arr, value.universe)
+        self.sm.update(set_id, new_value)
+        return True
 
     def elements(self, set_id: int) -> np.ndarray:
         """Iterate a set (the software layer's set iterator): streams

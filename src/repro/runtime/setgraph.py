@@ -154,6 +154,12 @@ class SetGraph:
         """Set ID of ``N(v)`` (or ``N+(v)`` for oriented SetGraphs)."""
         return self._set_ids[v]
 
+    @property
+    def set_ids(self) -> list[int]:
+        """Per-vertex neighborhood set IDs (``repro.streaming`` mutates
+        the underlying sets through these)."""
+        return self._set_ids
+
     def degree(self, v: int) -> int:
         return self.ctx.sm.meta(self._set_ids[v]).cardinality
 

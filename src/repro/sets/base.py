@@ -61,6 +61,50 @@ class VertexSet(ABC):
     def storage_bits(self) -> int:
         """Size of this representation in bits (paper Fig. 4)."""
 
+    # -- element updates (mutation-as-new-value) ---------------------------
+    #
+    # SISA sets are mutable through the element-update instructions
+    # (Table 5 opcodes 0x5/0x6 for DBs, INSERT_SA/REMOVE_SA for SAs).
+    # Every representation must support them: the runtime's scalar
+    # ``insert``/``remove`` and the batched element-update dispatch both
+    # go through these methods.  Values stay immutable Python objects —
+    # an update returns a new value (which is also what makes zero-copy
+    # graph snapshots possible, see ``repro.streaming``).
+
+    @abstractmethod
+    def with_element(self, x: int) -> "VertexSet":
+        """``A ∪ {x}``; returns ``self`` when ``x`` is already present."""
+
+    @abstractmethod
+    def without_element(self, x: int) -> "VertexSet":
+        """``A \\ {x}``; returns ``self`` when ``x`` is absent."""
+
+    def with_elements(self, xs: np.ndarray) -> "VertexSet":
+        """``A ∪ {x_1, ..., x_k}`` as one functional step (the batched
+        element-update path).  Representations override this with a
+        vectorized form; the default folds :meth:`with_element`."""
+        value: VertexSet = self
+        for x in np.asarray(xs).ravel():
+            value = value.with_element(int(x))
+        return value
+
+    def without_elements(self, xs: np.ndarray) -> "VertexSet":
+        """``A \\ {x_1, ..., x_k}`` as one functional step."""
+        value: VertexSet = self
+        for x in np.asarray(xs).ravel():
+            value = value.without_element(int(x))
+        return value
+
+    def contains_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized membership of ``xs`` (model-internal helper; the
+        batched update path uses it to resolve which updates take
+        effect, mirroring the changed-bit an update instruction would
+        report)."""
+        xs = np.asarray(xs, dtype=np.int64).ravel()
+        return np.fromiter(
+            (self.contains(int(x)) for x in xs), dtype=bool, count=xs.size
+        )
+
     def __len__(self) -> int:
         return self.cardinality
 

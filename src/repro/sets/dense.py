@@ -129,6 +129,56 @@ class DenseBitvector(VertexSet):
         words[x // WORD] &= ~(np.uint64(1) << np.uint64(x % WORD))
         return DenseBitvector(words, self._universe, cardinality=self._cardinality - 1)
 
+    def with_elements(self, xs: np.ndarray) -> "DenseBitvector":
+        """Bulk ``A ∪ {x_1..x_k}``: k set-bit writes applied in one
+        functional step."""
+        xs = np.asarray(xs, dtype=np.int64).ravel()
+        if xs.size == 0:
+            return self
+        if xs.min() < 0 or xs.max() >= self._universe:
+            raise SetError("element out of universe range")
+        new = xs[~self.contains_many(xs)]
+        if new.size == 0:
+            return self
+        new = np.unique(new)
+        words = self._words.copy()
+        np.bitwise_or.at(
+            words, new // WORD, np.uint64(1) << (new % WORD).astype(np.uint64)
+        )
+        return DenseBitvector(
+            words, self._universe, cardinality=self._cardinality + int(new.size)
+        )
+
+    def without_elements(self, xs: np.ndarray) -> "DenseBitvector":
+        """Bulk ``A \\ {x_1..x_k}``: k clear-bit writes in one step."""
+        xs = np.asarray(xs, dtype=np.int64).ravel()
+        if xs.size == 0:
+            return self
+        gone = np.unique(xs[self.contains_many(xs)])
+        if gone.size == 0:
+            return self
+        words = self._words.copy()
+        np.bitwise_and.at(
+            words,
+            gone // WORD,
+            ~(np.uint64(1) << (gone % WORD).astype(np.uint64)),
+        )
+        return DenseBitvector(
+            words, self._universe, cardinality=self._cardinality - int(gone.size)
+        )
+
+    def contains_many(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64).ravel()
+        out = np.zeros(xs.size, dtype=bool)
+        inside = (xs >= 0) & (xs < self._universe)
+        if inside.any():
+            sel = xs[inside]
+            bits = (
+                self._words[sel // WORD] >> (sel % WORD).astype(np.uint64)
+            ) & np.uint64(1)
+            out[inside] = bits.astype(bool)
+        return out
+
     def complement(self) -> "DenseBitvector":
         """``A'`` via in-situ NOT (used for difference: A \\ B = A & B')."""
         words = ~self._words

@@ -127,6 +127,50 @@ class SparseArray(VertexSet):
         arr = self._elements[self._elements != x]
         return SparseArray(arr, self._universe, sorted_=self._sorted, _trusted=True)
 
+    def with_elements(self, xs: np.ndarray) -> "SparseArray":
+        """Bulk ``A ∪ {x_1..x_k}``: one vectorized merge instead of k
+        inserts (the functional half of the batched element-update
+        instruction burst)."""
+        xs = np.asarray(xs, dtype=ELEMENT_DTYPE).ravel()
+        if xs.size == 0:
+            return self
+        if xs.size and (xs.min() < 0 or xs.max() >= self._universe):
+            raise SetError("element out of universe range")
+        new = np.setdiff1d(xs, self._elements)
+        if new.size == 0:
+            return self
+        if self._sorted:
+            merged = np.union1d(self._elements, new)
+            return SparseArray.from_sorted(merged, self._universe)
+        return SparseArray(
+            np.concatenate([self._elements, new]),
+            self._universe,
+            sorted_=False,
+            _trusted=True,
+        )
+
+    def without_elements(self, xs: np.ndarray) -> "SparseArray":
+        """Bulk ``A \\ {x_1..x_k}``."""
+        xs = np.asarray(xs, dtype=ELEMENT_DTYPE).ravel()
+        if xs.size == 0:
+            return self
+        keep = ~np.isin(self._elements, xs)
+        if keep.all():
+            return self
+        return SparseArray(
+            self._elements[keep], self._universe, sorted_=self._sorted, _trusted=True
+        )
+
+    def contains_many(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=ELEMENT_DTYPE).ravel()
+        if self._sorted:
+            idx = np.searchsorted(self._elements, xs)
+            inside = idx < self._elements.size
+            out = np.zeros(xs.size, dtype=bool)
+            out[inside] = self._elements[idx[inside]] == xs[inside]
+            return out
+        return np.isin(xs, self._elements)
+
     def shuffled(self, seed: int = 0) -> "SparseArray":
         """An unsorted permutation of this set (for tests and for
         exercising the unsorted-SA instruction variants)."""

@@ -1,0 +1,47 @@
+"""Streaming dynamic-graph subsystem.
+
+The first subsystem where the simulated machine's state evolves over
+time: batched edge insertions/deletions charged through the batched
+element-update dispatch, incremental analytics maintainers that touch
+only the vertices an update batch affects, and an epoch/snapshot API
+for running analytics against a consistent view while updates stream.
+
+Layers:
+
+* :mod:`repro.streaming.graph` — :class:`DynamicSetGraph` (a mutable
+  view over a :class:`~repro.runtime.setgraph.SetGraph`) and
+  :class:`GraphSnapshot` (zero-copy consistent views).
+* :mod:`repro.streaming.incremental` — incremental maintainers for
+  triangle counts, local clustering coefficients and link-prediction
+  scores, plus their full-recompute references.
+* :mod:`repro.streaming.engine` — :class:`StreamingEngine`, the batch
+  orchestrator wiring maintainers to the delete-then-insert protocol.
+
+Edge-stream workloads live in :mod:`repro.graphs.streams`.
+"""
+
+from repro.streaming.engine import StepResult, StreamingEngine
+from repro.streaming.graph import DynamicSetGraph, GraphSnapshot
+from repro.streaming.incremental import (
+    IncrementalClusteringCoefficients,
+    IncrementalLinkPrediction,
+    IncrementalTriangleCount,
+    StreamMaintainer,
+    clustering_coefficients_from_counts,
+    local_triangle_counts,
+    watchlist_scores,
+)
+
+__all__ = [
+    "StepResult",
+    "StreamingEngine",
+    "DynamicSetGraph",
+    "GraphSnapshot",
+    "IncrementalClusteringCoefficients",
+    "IncrementalLinkPrediction",
+    "IncrementalTriangleCount",
+    "StreamMaintainer",
+    "clustering_coefficients_from_counts",
+    "local_triangle_counts",
+    "watchlist_scores",
+]

@@ -1,0 +1,79 @@
+"""StreamingEngine: the per-batch orchestration protocol.
+
+The delta algebra of :mod:`repro.streaming.incremental` requires both
+counting hooks to observe the *intermediate* graph ``G1`` — after a
+batch's deletions, before its insertions.  The engine enforces that
+ordering so maintainers never have to reason about it:
+
+1. apply the deletion batch (batched element-update burst) → ``G1``,
+2. ``on_deletions(G1, effective_deletions)`` for every maintainer,
+3. ``on_insertions(G1, effective_insertions)`` for every maintainer,
+4. apply the insertion batch → ``G2``,
+5. ``on_applied(G2, touched_vertices)`` for every maintainer,
+6. re-decide representations for touched vertices, advance the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.streams import EdgeBatch, canonical_edges
+from repro.streaming.graph import DynamicSetGraph, touched_vertices
+from repro.streaming.incremental import StreamMaintainer
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """What one streamed batch actually did to the graph."""
+
+    epoch: int
+    deleted: np.ndarray
+    inserted: np.ndarray
+    touched: np.ndarray
+    conversions: int
+
+
+class StreamingEngine:
+    """Drives a :class:`DynamicSetGraph` and its maintainers batch by
+    batch."""
+
+    def __init__(
+        self,
+        dynamic: DynamicSetGraph,
+        maintainers: tuple[StreamMaintainer, ...] | list[StreamMaintainer] = (),
+    ):
+        self.dynamic = dynamic
+        self.maintainers = list(maintainers)
+
+    def add_maintainer(self, maintainer: StreamMaintainer) -> None:
+        self.maintainers.append(maintainer)
+
+    def step(self, batch: EdgeBatch) -> StepResult:
+        dynamic = self.dynamic
+        n = dynamic.num_vertices
+        deleted = dynamic.apply_deletions(batch.deletions)
+        for maintainer in self.maintainers:
+            maintainer.on_deletions(dynamic, deleted)
+        # Effective insertions are resolved against G1, *before* they
+        # are applied, so the insertion hooks can count on G1.
+        insertions = canonical_edges(batch.insertions, n)
+        effective_insertions = dynamic.absent_edges(insertions)
+        for maintainer in self.maintainers:
+            maintainer.on_insertions(dynamic, effective_insertions)
+        inserted = dynamic.apply_insertions(insertions, canonical=True)
+        touched = touched_vertices(deleted, inserted)
+        for maintainer in self.maintainers:
+            maintainer.on_applied(dynamic, touched)
+        conversions = dynamic.finish_batch(touched)
+        return StepResult(
+            epoch=dynamic.epoch,
+            deleted=deleted,
+            inserted=inserted,
+            touched=touched,
+            conversions=conversions,
+        )
+
+    def run(self, batches) -> list[StepResult]:
+        return [self.step(batch) for batch in batches]

@@ -1,0 +1,272 @@
+"""DynamicSetGraph: a mutable view over a SetGraph.
+
+The paper's predefined graph structure fixes each neighborhood's
+representation when the program starts (Section 6.1).  A streaming
+workload breaks both assumptions that rule rests on: neighborhoods
+mutate (through the element-update instructions of Table 5) and their
+densities drift.  :class:`DynamicSetGraph` therefore
+
+* applies batched edge insertions/deletions through the batched
+  element-update dispatch
+  (:meth:`repro.runtime.context.SisaContext.insert_batch` /
+  ``remove_batch`` — cycle-identical to the sequential scalar stream),
+* keeps the per-set ``SetMeta`` cardinality/representation state
+  consistent (the runtime does this per update), and
+* re-decides the SA ↔ DB representation of any neighborhood whose
+  degree crosses the density thresholds after a batch, charged as a
+  streaming read plus a CREATE of the new representation.
+
+Because set values are immutable Python objects (every update installs
+a *new* value), a consistent :class:`GraphSnapshot` is just a capture
+of the current value references — copy-on-write, no data movement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.streams import EdgeBatch, canonical_edges
+from repro.hw.cost import Cost
+from repro.runtime.context import SisaContext
+from repro.runtime.setgraph import SetGraph
+from repro.sets.sparse import WORD_BITS
+
+
+class _SetView:
+    """Shared read interface of the live graph and its snapshots."""
+
+    ctx: SisaContext
+    universe: int
+    _set_ids: list[int]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._set_ids)
+
+    def neighborhood(self, v: int) -> int:
+        """Set ID of ``N(v)``."""
+        return self._set_ids[v]
+
+    @property
+    def set_ids(self) -> list[int]:
+        return self._set_ids
+
+    def degree(self, v: int) -> int:
+        return self.ctx.sm.meta(self._set_ids[v]).cardinality
+
+    def neighborhood_counts(self, u: int, vs) -> np.ndarray:
+        """Batched ``|N(u) ∩ N(v)|`` fan-out, as on ``SetGraph``."""
+        ids = self._set_ids
+        if isinstance(vs, np.ndarray):
+            vs = vs.tolist()
+        return self.ctx.intersect_count_batch(ids[u], [ids[v] for v in vs])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Model-internal adjacency probe (charges nothing)."""
+        return self.ctx.value(self._set_ids[u]).contains(v)
+
+    def edge_array(self) -> np.ndarray:
+        """Current undirected edges, ``u < v`` rows (model-internal
+        export, e.g. for rebuild-equivalence checks)."""
+        rows = []
+        for u, sid in enumerate(self._set_ids):
+            nbrs = self.ctx.value(sid).to_array()
+            upper = nbrs[nbrs > u]
+            if upper.size:
+                rows.append(np.column_stack([np.full(upper.size, u, dtype=np.int64), upper]))
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(rows)
+
+
+class GraphSnapshot(_SetView):
+    """A consistent, immutable view of one epoch of the live graph.
+
+    Snapshotting is copy-on-write: set values are immutable, so the
+    snapshot just registers the current value references under fresh
+    set IDs (one SM-entry write each — no set data is touched).  The
+    live graph keeps mutating; analytics against the snapshot see the
+    captured epoch until :meth:`release` frees its IDs.
+    """
+
+    def __init__(self, dynamic: "DynamicSetGraph"):
+        ctx = dynamic.ctx
+        self.ctx = ctx
+        self.universe = dynamic.universe
+        self.epoch = dynamic.epoch
+        values = [ctx.sm.value(sid) for sid in dynamic.set_ids]
+        self._set_ids = [ctx.sm.register(value) for value in values]
+        # The SCU writes one SM entry per aliased set; no data movement.
+        ctx.charge_host(
+            Cost(compute_cycles=ctx.hw.scu_dispatch_cycles * len(values))
+        )
+        self._released = False
+
+    def release(self) -> None:
+        """Free the snapshot's set IDs (DELETE per aliased set)."""
+        if self._released:
+            return
+        for sid in self._set_ids:
+            self.ctx.free(sid)
+        self._released = True
+
+
+class DynamicSetGraph(_SetView):
+    """Neighborhood sets that evolve under batched edge updates.
+
+    Construct it over an existing :class:`SetGraph` (both views share
+    the same set IDs, so static algorithms keep working on the evolving
+    state) or directly via :meth:`from_graph`.
+
+    ``dense_bits``/``sparse_bits`` are the re-decision thresholds in
+    DB-storage fractions: a sparse neighborhood converts to a DB once
+    ``W * degree >= dense_bits * n`` (at 1.0 the DB is no larger than
+    the SA it replaces), and a DB falls back to an SA once
+    ``W * degree < sparse_bits * n`` (the gap is hysteresis, so a
+    neighborhood oscillating around the threshold does not thrash).
+    On the ``cpu-set`` host baseline every neighborhood stays an SA,
+    as at construction.
+    """
+
+    def __init__(
+        self,
+        base: SetGraph,
+        *,
+        dense_bits: float = 1.0,
+        sparse_bits: float = 0.25,
+    ):
+        if not 0.0 < sparse_bits <= dense_bits:
+            raise ConfigError("need 0 < sparse_bits <= dense_bits")
+        self.base = base
+        self.ctx = base.ctx
+        self.universe = base.universe
+        self._set_ids = base.set_ids
+        self._dense_mask = base.dense_mask
+        self._dense_degree = dense_bits * base.universe / WORD_BITS
+        self._sparse_degree = sparse_bits * base.universe / WORD_BITS
+        self.epoch = 0
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: CSRGraph,
+        ctx: SisaContext,
+        *,
+        t: float = 0.4,
+        budget: float = 0.1,
+        policy: str = "fraction",
+        dense_bits: float = 1.0,
+        sparse_bits: float = 0.25,
+    ) -> "DynamicSetGraph":
+        base = SetGraph.from_graph(graph, ctx, t=t, budget=budget, policy=policy)
+        return cls(base, dense_bits=dense_bits, sparse_bits=sparse_bits)
+
+    @property
+    def dense_mask(self) -> np.ndarray:
+        return self._dense_mask
+
+    @property
+    def edge_count(self) -> int:
+        sm = self.ctx.sm
+        return sum(sm.meta(sid).cardinality for sid in self._set_ids) // 2
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _edge_updates(self, edges: np.ndarray) -> list[tuple[int, int]]:
+        ids = self._set_ids
+        updates: list[tuple[int, int]] = []
+        for u, v in edges:
+            updates.append((ids[u], int(v)))
+            updates.append((ids[v], int(u)))
+        return updates
+
+    def apply_insertions(
+        self, edges: np.ndarray, *, canonical: bool = False
+    ) -> np.ndarray:
+        """Insert an edge batch; every requested update dispatches an
+        element-update instruction (already-present edges are charged
+        no-ops, as in the scalar stream).  Returns the effective
+        (actually new) edges.  ``canonical=True`` skips
+        re-canonicalization for callers that already did it."""
+        if not canonical:
+            edges = canonical_edges(edges, self.num_vertices)
+        if edges.shape[0] == 0:
+            return edges
+        flags = self.ctx.insert_batch(self._edge_updates(edges))
+        return edges[flags[0::2]]
+
+    def apply_deletions(
+        self, edges: np.ndarray, *, canonical: bool = False
+    ) -> np.ndarray:
+        """Delete an edge batch; returns the effective (actually
+        removed) edges."""
+        if not canonical:
+            edges = canonical_edges(edges, self.num_vertices)
+        if edges.shape[0] == 0:
+            return edges
+        flags = self.ctx.remove_batch(self._edge_updates(edges))
+        return edges[flags[0::2]]
+
+    def absent_edges(self, edges: np.ndarray) -> np.ndarray:
+        """The subset of a canonical edge array not currently in the
+        graph (model-internal: one vectorized membership probe per
+        distinct first endpoint)."""
+        if edges.shape[0] == 0:
+            return edges
+        value = self.ctx.value
+        ids = self._set_ids
+        groups: dict[int, list[int]] = {}
+        for k, (u, _) in enumerate(edges):
+            groups.setdefault(int(u), []).append(k)
+        absent = np.zeros(edges.shape[0], dtype=bool)
+        for u, rows in groups.items():
+            vs = edges[rows, 1]
+            absent[rows] = ~value(ids[u]).contains_many(vs)
+        return edges[absent]
+
+    def finish_batch(self, touched: np.ndarray) -> int:
+        """Close out one update batch: re-decide representations for the
+        touched vertices and advance the epoch.  Returns the number of
+        SA ↔ DB conversions performed."""
+        conversions = 0
+        if self.ctx.mode != "cpu-set":
+            mask = self._dense_mask
+            for v in np.asarray(touched, dtype=np.int64).ravel():
+                deg = self.degree(int(v))
+                if not mask[v] and deg >= self._dense_degree:
+                    if self.ctx.convert_representation(self._set_ids[v], dense=True):
+                        mask[v] = True
+                        conversions += 1
+                elif mask[v] and deg < self._sparse_degree:
+                    if self.ctx.convert_representation(self._set_ids[v], dense=False):
+                        mask[v] = False
+                        conversions += 1
+        self.epoch += 1
+        return conversions
+
+    def apply_batch(self, batch: EdgeBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one :class:`EdgeBatch` (deletions first, then
+        insertions) and finish the epoch.  Returns the effective
+        ``(deleted, inserted)`` edge arrays.  Use
+        :class:`~repro.streaming.engine.StreamingEngine` instead when
+        incremental maintainers must observe the intermediate state."""
+        deleted = self.apply_deletions(batch.deletions)
+        inserted = self.apply_insertions(batch.insertions)
+        self.finish_batch(touched_vertices(deleted, inserted))
+        return deleted, inserted
+
+    def snapshot(self) -> GraphSnapshot:
+        """Capture the current epoch as a consistent read-only view."""
+        return GraphSnapshot(self)
+
+
+def touched_vertices(*edge_arrays: np.ndarray) -> np.ndarray:
+    """Unique endpoints across effective edge arrays."""
+    parts = [np.asarray(e, dtype=np.int64).ravel() for e in edge_arrays if len(e)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))

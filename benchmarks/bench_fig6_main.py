@@ -5,16 +5,16 @@ speedup-summary lines.
 Problems: clustering (cl-jac / cl-ovr / cl-tot), k-clique (kcc-4/5),
 k-clique-star (ksc-4), maximal cliques (mc), triangles (tc), subgraph
 isomorphism (si-3s, plus the labeled variant in bench_labeled_si).
+
+The set-based and SISA variants run through the session API
+(`benchmarks.common.session_cell`): one cold `SisaSession` per cell,
+which issues exactly the instruction stream the historical one-shot
+entry points issued.
 """
 
 import pytest
 
-from repro.algorithms.bron_kerbosch import maximal_cliques
-from repro.algorithms.clique_star import kclique_star
-from repro.algorithms.clustering import jarvis_patrick
-from repro.algorithms.kclique import kclique_count
-from repro.algorithms.subgraph_iso import star_pattern, subgraph_isomorphism
-from repro.algorithms.triangles import triangle_count
+from repro.algorithms.subgraph_iso import star_pattern
 from repro.baselines.nonset import (
     jarvis_patrick_nonset,
     kclique_count_nonset,
@@ -25,8 +25,9 @@ from repro.baselines.nonset import (
 )
 from repro.bench.harness import ResultTable, run_three_variants
 from repro.datasets import load
+from repro.session import ExecutionConfig, SisaSession
 
-from common import CUTOFFS, FIG6_GRAPHS, emit
+from common import CUTOFFS, FIG6_GRAPHS, emit, session_cell
 
 THREADS = 32
 
@@ -43,10 +44,10 @@ def _fill_table() -> ResultTable:
         run_three_variants(
             "tc", name, table,
             nonset=lambda: _pair(triangle_count_nonset(graph, threads=THREADS)),
-            set_based=lambda: _pair(
-                triangle_count(graph, threads=THREADS, mode="cpu-set")
+            set_based=lambda: session_cell(
+                graph, "triangles", threads=THREADS, mode="cpu-set"
             ),
-            sisa=lambda: _pair(triangle_count(graph, threads=THREADS)),
+            sisa=lambda: session_cell(graph, "triangles", threads=THREADS),
         )
 
         for k in (4, 5):
@@ -58,16 +59,12 @@ def _fill_table() -> ResultTable:
                         graph, k, threads=THREADS, max_patterns=cutoff
                     )
                 ),
-                set_based=lambda: _pair(
-                    kclique_count(
-                        graph, k, threads=THREADS, mode="cpu-set",
-                        max_patterns=cutoff,
-                    )
+                set_based=lambda: session_cell(
+                    graph, "kclique", threads=THREADS, mode="cpu-set",
+                    k=k, max_patterns=cutoff,
                 ),
-                sisa=lambda: _pair(
-                    kclique_count(
-                        graph, k, threads=THREADS, max_patterns=cutoff
-                    )
+                sisa=lambda: session_cell(
+                    graph, "kclique", threads=THREADS, k=k, max_patterns=cutoff
                 ),
             )
 
@@ -78,15 +75,13 @@ def _fill_table() -> ResultTable:
                 kclique_star_nonset(graph, 4, threads=THREADS, max_patterns=cutoff),
                 digest=len,
             ),
-            set_based=lambda: _pair(
-                kclique_star(
-                    graph, 4, threads=THREADS, mode="cpu-set", max_patterns=cutoff
-                ),
-                digest=len,
+            set_based=lambda: session_cell(
+                graph, "kclique_star", threads=THREADS, mode="cpu-set",
+                k=4, max_patterns=cutoff, digest=len,
             ),
-            sisa=lambda: _pair(
-                kclique_star(graph, 4, threads=THREADS, max_patterns=cutoff),
-                digest=len,
+            sisa=lambda: session_cell(
+                graph, "kclique_star", threads=THREADS,
+                k=4, max_patterns=cutoff, digest=len,
             ),
         )
 
@@ -99,15 +94,13 @@ def _fill_table() -> ResultTable:
                 ),
                 digest=_digest_cliques,
             ),
-            set_based=lambda: _pair(
-                maximal_cliques(
-                    graph, threads=THREADS, mode="cpu-set", max_patterns=cutoff
-                ),
-                digest=_digest_cliques,
+            set_based=lambda: session_cell(
+                graph, "maximal_cliques", threads=THREADS, mode="cpu-set",
+                max_patterns=cutoff, digest=_digest_cliques,
             ),
-            sisa=lambda: _pair(
-                maximal_cliques(graph, threads=THREADS, max_patterns=cutoff),
-                digest=_digest_cliques,
+            sisa=lambda: session_cell(
+                graph, "maximal_cliques", threads=THREADS,
+                max_patterns=cutoff, digest=_digest_cliques,
             ),
         )
 
@@ -124,17 +117,14 @@ def _fill_table() -> ResultTable:
                         graph, tau=tau, measure=measure, threads=THREADS
                     )
                 ),
-                set_based=lambda: _pair(
-                    jarvis_patrick(
-                        graph, tau=tau, measure=measure, threads=THREADS,
-                        mode="cpu-set",
-                    ),
+                set_based=lambda: session_cell(
+                    graph, "jarvis_patrick", threads=THREADS, mode="cpu-set",
+                    tau=tau, measure=measure,
                     digest=lambda out: tuple(out["edges"][:20]),
                 ),
-                sisa=lambda: _pair(
-                    jarvis_patrick(
-                        graph, tau=tau, measure=measure, threads=THREADS
-                    ),
+                sisa=lambda: session_cell(
+                    graph, "jarvis_patrick", threads=THREADS,
+                    tau=tau, measure=measure,
                     digest=lambda out: tuple(out["edges"][:20]),
                 ),
                 check_outputs=False,  # digests differ in type across variants
@@ -149,16 +139,13 @@ def _fill_table() -> ResultTable:
                     graph, pattern, threads=THREADS, max_matches=cutoff
                 )
             ),
-            set_based=lambda: _pair(
-                subgraph_isomorphism(
-                    graph, pattern, threads=THREADS, mode="cpu-set",
-                    max_matches=cutoff,
-                )
+            set_based=lambda: session_cell(
+                graph, "subgraph_iso", threads=THREADS, mode="cpu-set",
+                pattern=pattern, max_matches=cutoff,
             ),
-            sisa=lambda: _pair(
-                subgraph_isomorphism(
-                    graph, pattern, threads=THREADS, max_matches=cutoff
-                )
+            sisa=lambda: session_cell(
+                graph, "subgraph_iso", threads=THREADS,
+                pattern=pattern, max_matches=cutoff,
             ),
         )
     return table
@@ -183,6 +170,7 @@ def test_fig6_main(benchmark):
         assert sum(sisa) < sum(nonset), problem
         assert summary.speedup_of_avgs > 1.0, problem
     graph = load("int-antCol5-d1")
+    session = SisaSession(graph, ExecutionConfig(threads=32))
     benchmark(
-        lambda: kclique_count(graph, 4, threads=32, max_patterns=2000).output
+        lambda: session.run("kclique", k=4, max_patterns=2000).output
     )

@@ -13,7 +13,33 @@ import io
 from contextlib import redirect_stdout
 from pathlib import Path
 
+from repro.session import ExecutionConfig, SisaSession
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def session_cell(
+    graph,
+    workload: str,
+    *,
+    digest=None,
+    threads: int = 32,
+    mode: str = "sisa",
+    config: ExecutionConfig | None = None,
+    **params,
+):
+    """One benchmark cell through the session API.
+
+    Builds a cold :class:`SisaSession` (so the measured cycles match
+    the historical one-shot numbers bit-for-bit), runs the named
+    workload, and returns the ``(output_digest, runtime_cycles)`` pair
+    the harness's ``run_three_variants`` callables produce.
+    """
+    if config is None:
+        config = ExecutionConfig(threads=threads, mode=mode)
+    run = SisaSession(graph, config).run(workload, **params)
+    output = run.output if digest is None else digest(run.output)
+    return output, run.runtime_cycles
 
 
 def emit(name: str, render) -> str:

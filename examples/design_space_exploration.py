@@ -9,14 +9,17 @@ design choices move end-to-end performance:
 * the number of rows processed in parallel q,
 * thread (vault) count.
 
+Each design point is one `SisaSession` (`ExecutionConfig` is the single
+home of every knob); the workload runs by name through the session.
+
 Workload: 4-clique counting on a heavy-tailed genome-like graph.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.algorithms import kclique_count
 from repro.datasets import load
 from repro.hw.config import HardwareConfig
+from repro.session import ExecutionConfig, SisaSession
 
 CUTOFF = 20_000
 
@@ -24,10 +27,11 @@ CUTOFF = 20_000
 def sweep_db_bias(graph) -> None:
     print("\n-- sweep: DB bias t (budget unconstrained) --")
     for t in (0.0, 0.2, 0.4, 0.8, 1.0):
-        run = kclique_count(
-            graph, 4, threads=32, t=t, budget=2.0, max_patterns=CUTOFF
+        session = SisaSession(
+            graph, ExecutionConfig(threads=32, t=t, budget=2.0)
         )
-        dense = run.context.scu.stats.pum_ops
+        run = session.run("kclique", k=4, max_patterns=CUTOFF)
+        dense = run.stats.pum_ops
         print(
             f"  t={t:.1f}: {run.runtime_mcycles:8.3f} Mcycles "
             f"({dense} in-situ ops)"
@@ -38,12 +42,15 @@ def sweep_insitu_latency(graph) -> None:
     # Triangle counting intersects neighborhoods directly, so with a
     # high DB bias many DB∩DB pairs land on the PUM substrate — the
     # workload where l_I matters.
-    from repro.algorithms import triangle_count
-
     print("\n-- sweep: in-situ op latency l_I (PUM quality), tc workload --")
     for l_i in (25.0, 50.0, 100.0, 200.0):
-        hw = HardwareConfig(insitu_op_latency_ns=l_i)
-        run = triangle_count(graph, threads=32, hw=hw, t=0.8, budget=2.0)
+        config = ExecutionConfig(
+            threads=32,
+            t=0.8,
+            budget=2.0,
+            hw=HardwareConfig(insitu_op_latency_ns=l_i),
+        )
+        run = SisaSession(graph, config).run("triangles")
         print(f"  l_I={l_i:5.0f} ns: {run.runtime_mcycles:8.3f} Mcycles")
 
 
@@ -71,7 +78,8 @@ def sweep_threads(graph) -> None:
     print("\n-- sweep: active vaults (threads) --")
     base = None
     for threads in (1, 4, 16, 32, 64):
-        run = kclique_count(graph, 4, threads=threads, max_patterns=CUTOFF)
+        session = SisaSession(graph, ExecutionConfig(threads=threads))
+        run = session.run("kclique", k=4, max_patterns=CUTOFF)
         base = base or run.runtime_cycles
         print(
             f"  T={threads:3d}: {run.runtime_mcycles:8.3f} Mcycles "

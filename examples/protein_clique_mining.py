@@ -7,16 +7,19 @@ interaction network are complex candidates.  This example
 1. builds a heavy-tailed interaction network with planted complexes,
 2. finds the k-core to focus on the dense region,
 3. lists maximal cliques inside the core with Bron-Kerbosch,
-4. ranks complexes by size and internal Jaccard cohesion,
+4. ranks complexes by size and internal Jaccard cohesion — scored on
+   the *same warm session*, so the neighborhood sets built for the
+   clique mining are reused instead of rebuilt,
 5. reports how the SISA machine executed the workload.
 
 Run:  python examples/protein_clique_mining.py
 """
 
-from repro.algorithms import make_context, maximal_cliques, similarity_on
+import numpy as np
+
 from repro.graphs.generators import planted_clique_graph
 from repro.graphs.orientation import k_core
-from repro.runtime.setgraph import SetGraph
+from repro.session import ExecutionConfig, SisaSession
 
 
 def main() -> None:
@@ -32,8 +35,11 @@ def main() -> None:
     core = network.subgraph(core_vertices)
     print(f"8-core: {core.num_vertices} proteins, {core.num_edges} interactions")
 
+    # One session serves both the mining and the scoring passes.
+    session = SisaSession(core, ExecutionConfig(threads=32))
+
     # Mine maximal cliques in the core.
-    run = maximal_cliques(core, threads=32, max_patterns=5_000)
+    run = session.run("maximal_cliques", max_patterns=5_000)
     complexes = [c for c in run.output if len(c) >= 6]
     complexes.sort(key=len, reverse=True)
     print(
@@ -43,25 +49,28 @@ def main() -> None:
     print(f"simulated mining time: {run.runtime_mcycles:.3f} Mcycles")
 
     # Score the top candidates by average pairwise neighborhood
-    # Jaccard similarity (cohesion of the complex's context).
-    ctx = make_context(threads=8, mode="sisa")
-    sg = SetGraph.from_graph(core, ctx)
+    # Jaccard similarity (cohesion of the complex's context).  The warm
+    # session reuses the cached neighborhood sets for the scoring runs.
     print("\ntop candidates (size, cohesion):")
     for clique in complexes[:5]:
         members = list(clique)
-        pairs = [
-            (members[i], members[j])
-            for i in range(len(members))
-            for j in range(i + 1, len(members))
-        ]
-        cohesion = sum(
-            similarity_on(ctx, sg, u, v, measure="jaccard") for u, v in pairs
-        ) / len(pairs)
+        pairs = np.asarray(
+            [
+                (members[i], members[j])
+                for i in range(len(members))
+                for j in range(i + 1, len(members))
+            ],
+            dtype=np.int64,
+        )
+        scores = session.run(
+            "similarity_pairs", pairs=pairs, measure="jaccard"
+        )
+        cohesion = float(scores.output.mean())
         print(f"  size {len(clique):>2}  cohesion {cohesion:.3f}  {clique[:8]}...")
 
-    stats = run.context.scu.stats
+    stats = run.stats
     print(
-        f"\nSISA execution: {stats.instructions} set instructions "
+        f"\nSISA execution (mining run): {stats.instructions} set instructions "
         f"({stats.pum_ops} in-situ, {stats.pnm_ops} near-memory; "
         f"merge/gallop picks {stats.merge_picks}/{stats.gallop_picks})"
     )

@@ -1,19 +1,19 @@
 """Quickstart: count triangles and list maximal cliques with SISA.
 
-Walks through the library's core loop:
+Walks through the library's core loop, session-style:
 
 1. load (or build) a graph,
-2. create a simulated SISA machine (`SisaContext`),
-3. materialize neighborhoods as SISA sets (`SetGraph`, DB/SA mix),
-4. run a set-centric algorithm,
-5. read back both the functional result and the simulated timing.
+2. open a `SisaSession` (one simulated SISA machine + cached sets),
+3. run set-centric workloads by name (`session.run("triangles")`),
+4. re-run on the warm session — setup (neighborhood sets, degeneracy
+   orientation) is cached, and each run still reports its own cost,
+5. read back both the functional results and the simulated timings.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.algorithms import maximal_cliques, triangle_count
 from repro.datasets import load
-from repro.isa.opcodes import Opcode
+from repro.session import ExecutionConfig, SisaSession, available_workloads
 
 
 def main() -> None:
@@ -21,29 +21,46 @@ def main() -> None:
     # (gene functional associations, heavy-tailed degrees).
     graph = load("bio-SC-GT")
     print(f"graph: {graph}")
+    print(f"workloads: {', '.join(available_workloads())}")
 
-    # --- Triangle counting (paper Algorithm 1) -----------------------
-    run = triangle_count(graph, threads=32)
-    print(f"\ntriangles: {run.output}")
-    print(f"simulated runtime: {run.runtime_mcycles:.3f} Mcycles on 32 threads")
+    # --- One session, many runs --------------------------------------
+    session = SisaSession(graph, ExecutionConfig(threads=32))
 
-    # Peek at the instruction mix the SCU dispatched.
-    counts = run.context.opcode_counts()
+    # Triangle counting (paper Algorithm 1).
+    cold = session.run("triangles")
+    print(f"\ntriangles: {cold.output}")
+    print(f"simulated runtime: {cold.runtime_mcycles:.3f} Mcycles on 32 threads")
+
+    # Re-run on the warm session: the degeneracy orientation and all
+    # neighborhood sets are reused (zero set registrations), and the
+    # engine epoch marks still report this run's own cycles.
+    warm = session.run("triangles")
+    print(
+        f"warm re-run: {warm.output} triangles, "
+        f"{warm.runtime_mcycles:.3f} Mcycles, "
+        f"{warm.registrations} sets re-registered (warm={warm.warm})"
+    )
+
+    # Peek at the instruction mix the SCU dispatched for the cold run.
     print("instruction mix:")
-    for opcode, count in sorted(counts.items(), key=lambda kv: -kv[1])[:5]:
+    for opcode, count in sorted(
+        cold.opcode_counts().items(), key=lambda kv: -kv[1]
+    )[:5]:
         print(f"  {opcode.name:<28} x{count}")
-    stats = run.context.scu.stats
+    stats = cold.stats
     print(f"PUM ops: {stats.pum_ops}, PNM ops: {stats.pnm_ops}")
 
-    # --- Compare against the host baselines ---------------------------
-    set_based = triangle_count(graph, threads=32, mode="cpu-set")
+    # --- Compare against the host baseline ---------------------------
+    host = SisaSession(graph, ExecutionConfig(threads=32, mode="cpu-set"))
+    set_based = host.run("triangles")
     print(
         f"\nset-based on the host CPU: {set_based.runtime_mcycles:.3f} Mcycles "
-        f"-> SISA speedup {set_based.runtime_cycles / run.runtime_cycles:.2f}x"
+        f"-> SISA speedup {set_based.runtime_cycles / cold.runtime_cycles:.2f}x"
     )
 
     # --- Maximal cliques (paper Algorithm 2, Bron-Kerbosch) ----------
-    mc = maximal_cliques(graph, threads=32, max_patterns=2000)
+    # Same session: the undirected SetGraph is built once and cached.
+    mc = session.run("maximal_cliques", max_patterns=2000)
     largest = max(mc.output, key=len)
     print(
         f"\nmaximal cliques found (cutoff 2000): {len(mc.output)}; "

@@ -5,14 +5,15 @@ vertex pairs with neighborhood similarity measures, predict the
 top-scoring pairs, and test prediction accuracy with the set-centric
 Algorithm 10 (eff = |E_predict ∩ E_rndm|).
 
-This example compares four similarity measures on the same sparsified
-social network and reports each measure's precision and simulated cost.
+This example holds one `SisaSession` over the social network and runs
+the `link_prediction` workload once per similarity measure; the session
+reports each run's own simulated cost via its engine epoch marks.
 
 Run:  python examples/social_link_prediction.py
 """
 
-from repro.algorithms import link_prediction_effectiveness
 from repro.datasets import load
+from repro.session import ExecutionConfig, SisaSession
 
 MEASURES = ["jaccard", "overlap", "common_neighbors", "adamic_adar"]
 
@@ -25,13 +26,13 @@ def main() -> None:
         "\npairs on the sparsified graph, predict the top pairs, and check"
         "\nhow many removed edges were recovered (Algorithm 10).\n"
     )
+    session = SisaSession(graph, ExecutionConfig(threads=32))
     print(f"{'measure':<20}{'recovered':>10}{'removed':>9}{'precision':>11}{'Mcycles':>10}")
     for measure in MEASURES:
-        run = link_prediction_effectiveness(
-            graph,
+        run = session.run(
+            "link_prediction",
             removal_fraction=0.10,
             measure=measure,
-            threads=32,
             seed=17,
         )
         result = run.output

@@ -1,34 +1,30 @@
 """Quickstart: streaming analytics on an evolving social network.
 
 A social graph receives a continuous stream of edge updates (new
-friendships, dropped contacts).  Instead of recomputing analytics from
-scratch after every batch, the streaming subsystem applies the updates
-as batched element-update instruction bursts and lets incremental
-maintainers touch only the affected vertices:
+friendships, dropped contacts).  The session API binds the stream to
+the same persistent machine that serves the static workloads:
+`session.attach_stream()` yields a `DynamicSetGraph` sharing the
+session's neighborhood sets, incremental maintainers touch only the
+affected vertices, and snapshot analytics route through the uniform
+`session.run(..., view=snapshot)` path.
 
-* global triangle count (community density),
-* local clustering coefficients (per-user cohesion),
-* link-prediction scores for a friend-recommendation watchlist.
-
-The example also takes an epoch snapshot mid-stream: snapshots are
-copy-on-write views, so analytics can run against a consistent epoch
-while updates keep streaming.
+The example also re-runs a *static* workload after the stream has
+advanced: the session notices the epoch change and re-orients the
+evolved graph automatically.
 
 Run:  python examples/streaming_social_updates.py
 """
 
 import numpy as np
 
-from repro.algorithms.common import make_context
 from repro.graphs.generators import chung_lu_graph
 from repro.graphs.streams import sliding_window_stream
+from repro.session import ExecutionConfig, SisaSession
 from repro.streaming import (
-    DynamicSetGraph,
     IncrementalClusteringCoefficients,
     IncrementalLinkPrediction,
     IncrementalTriangleCount,
     StreamingEngine,
-    local_triangle_counts,
 )
 
 
@@ -41,10 +37,10 @@ def main() -> None:
     )
     print(f"social graph: {graph}, {len(stream.batches)} update batches")
 
-    ctx = make_context(threads=32)
-    dyn = DynamicSetGraph.from_graph(stream.initial_graph(), ctx)
+    session = SisaSession(stream.initial_graph(), ExecutionConfig(threads=32))
+    dyn = session.attach_stream()
 
-    # Friend recommendations: watch the 400 highest-degree user pairs.
+    # Friend recommendations: watch the highest-degree user pairs.
     hubs = np.argsort(-np.asarray([dyn.degree(v) for v in range(dyn.num_vertices)]))[:29]
     watchlist = np.asarray(
         [[int(u), int(v)] for i, u in enumerate(hubs) for v in hubs[i + 1 :]],
@@ -57,6 +53,7 @@ def main() -> None:
     engine = StreamingEngine(dyn, [tri, clus, lp])
     print(f"initial: {tri.count} triangles, {dyn.edge_count} live edges\n")
 
+    ctx = session.ctx
     snapshot = None
     print(f"{'epoch':>6}{'+edges':>8}{'-edges':>8}{'triangles':>11}{'conv':>6}{'Mcycles':>9}")
     for i, batch in enumerate(stream.batches):
@@ -66,7 +63,7 @@ def main() -> None:
             f"{tri.count:>11}{result.conversions:>6}{ctx.runtime_cycles / 1e6:>9.2f}"
         )
         if i == len(stream.batches) // 2 and snapshot is None:
-            snapshot = dyn.snapshot()  # consistent mid-stream view
+            snapshot = session.snapshot()  # consistent mid-stream view
 
     coeffs = clus.coefficients(dyn)
     print(f"\nfinal state: {dyn.edge_count} live edges, {tri.count} triangles")
@@ -77,14 +74,23 @@ def main() -> None:
         print(f"  {u:>4} -- {v:<4}")
 
     # The snapshot still reflects its capture epoch, even though the
-    # live graph has moved on.
+    # live graph has moved on — snapshot analytics run through the same
+    # session.run path as everything else.
     if snapshot is not None:
-        frozen = int(local_triangle_counts(snapshot, ctx).sum()) // 3
+        frozen = session.run("triangles", view=snapshot)
         print(
-            f"\nsnapshot@epoch {snapshot.epoch}: {frozen} triangles "
+            f"\nsnapshot@epoch {snapshot.epoch}: {frozen.output} triangles "
             f"(live graph is at epoch {dyn.epoch} with {tri.count})"
         )
         snapshot.release()
+
+    # A static re-run after the stream advanced: the session re-orients
+    # the evolved graph (new epoch) and reports only this run's cost.
+    final = session.run("triangles")
+    print(
+        f"\nstatic re-run on evolved graph: {final.output} triangles "
+        f"({final.runtime_mcycles:.2f} Mcycles, warm={final.warm})"
+    )
 
     print(f"\ntotal simulated cost: {ctx.runtime_cycles / 1e6:.2f} Mcycles")
 

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
@@ -91,7 +96,9 @@ def bfs(
     budget: float = 0.1,
     **context_kwargs,
 ) -> AlgorithmRun:
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    parent = bfs_on(graph, ctx, sg, root, direction=direction)
-    return AlgorithmRun(output=parent, report=ctx.report(), context=ctx)
+    """Deprecated shim: BFS on a cold session."""
+    warn_one_shot("bfs", "bfs")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(session.run("bfs", root=root, direction=direction))

@@ -14,7 +14,15 @@ neighbors, maintained set-centrically with a shrinking ``Later`` DB.
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmRun, PatternBudget, make_context
+import numpy as np
+
+from repro.algorithms.common import (
+    AlgorithmRun,
+    PatternBudget,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.graphs.csr import CSRGraph
 from repro.graphs.orientation import degeneracy_order
 from repro.runtime.context import SisaContext
@@ -78,6 +86,7 @@ def maximal_cliques_on(
     *,
     max_patterns: int | None = None,
     max_patterns_per_root: int | None = None,
+    order: np.ndarray | None = None,
 ) -> list[tuple[int, ...]]:
     """List maximal cliques given prebuilt context and SetGraph.
 
@@ -85,9 +94,13 @@ def maximal_cliques_on(
     ``max_patterns_per_root`` caps each root task's subtree (the
     paper's per-thread cutoff, which preserves parallelism on dense
     graphs where a single root would exhaust a global cutoff).
+    ``order`` accepts a precomputed degeneracy order (the session API
+    caches it); the order computation is host-side and uncharged, so
+    passing it changes no modeled cost.
     """
     n = graph.num_vertices
-    order = degeneracy_order(graph).order
+    if order is None:
+        order = degeneracy_order(graph).order
     cliques: list[tuple[int, ...]] = []
     budget = PatternBudget(max_patterns)
     # `Later` holds vertices not yet used as a recursion root; it starts
@@ -134,14 +147,15 @@ def maximal_cliques(
     max_patterns_per_root: int | None = None,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end Bron-Kerbosch maximal clique listing."""
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    cliques = maximal_cliques_on(
-        graph,
-        ctx,
-        sg,
-        max_patterns=max_patterns,
-        max_patterns_per_root=max_patterns_per_root,
+    """Deprecated shim: Bron-Kerbosch clique listing on a cold session."""
+    warn_one_shot("maximal_cliques", "maximal_cliques")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
-    return AlgorithmRun(output=cliques, report=ctx.report(), context=ctx)
+    return one_shot_result(
+        session.run(
+            "maximal_cliques",
+            max_patterns=max_patterns,
+            max_patterns_per_root=max_patterns_per_root,
+        )
+    )

@@ -17,8 +17,9 @@ from collections import defaultdict
 
 from repro.algorithms.common import (
     AlgorithmRun,
-    make_context,
-    oriented_setgraph,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
 )
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
@@ -104,23 +105,15 @@ def kclique_star(
     max_patterns: int | None = None,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end k-clique-star listing (ksc-k in the evaluation)."""
+    """Deprecated shim: k-clique-star listing (ksc-k) on a cold session."""
     if variant not in ("intersect", "from_k1"):
         raise ConfigError("variant must be 'intersect' or 'from_k1'")
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    __, oriented_sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    if variant == "from_k1":
-        output: object = kclique_star_from_k1_on(
-            ctx, oriented_sg, k, max_patterns=max_patterns
+    warn_one_shot("kclique_star", "kclique_star")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(
+        session.run(
+            "kclique_star", k=k, variant=variant, max_patterns=max_patterns
         )
-    else:
-        undirected_sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-        output = kclique_star_intersect_on(
-            graph,
-            ctx,
-            undirected_sg,
-            oriented_sg,
-            k,
-            max_patterns=max_patterns,
-        )
-    return AlgorithmRun(output=output, report=ctx.report(), context=ctx)
+    )

@@ -14,7 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.algorithms.similarity import (
     BATCHABLE_MEASURES,
     iter_shared_first_runs,
@@ -99,15 +104,12 @@ def jarvis_patrick(
     batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end Jarvis-Patrick clustering (cl-* in the evaluation)."""
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    kept = jarvis_patrick_on(
-        graph, ctx, sg, tau=tau, measure=measure, batch=batch
+    """Deprecated shim: Jarvis-Patrick clustering (cl-*) on a cold
+    session."""
+    warn_one_shot("jarvis_patrick", "jarvis_patrick")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
-    clusters = clusters_from_edges(graph.num_vertices, kept)
-    return AlgorithmRun(
-        output={"edges": kept, "clusters": clusters},
-        report=ctx.report(),
-        context=ctx,
+    return one_shot_result(
+        session.run("jarvis_patrick", tau=tau, measure=measure, batch=batch)
     )

@@ -10,12 +10,18 @@ Every algorithm in this package follows the same contract:
   the paper's methodology for long simulations ("we usually also
   pre-specify a number of graph patterns to be found", Section 9.1).
 
-:func:`run_algorithm` packages the common build-context / build-set-
-graph / run / report sequence used by the benchmarks.
+The per-call entry points (``triangle_count(graph, ...)`` and friends)
+are deprecated shims over the session API
+(:class:`~repro.session.session.SisaSession`): each builds a cold
+session, runs the registered workload once, and repackages the result
+as the legacy :class:`AlgorithmRun` — a cold session issues exactly the
+pre-session instruction stream, so the shims are cycle-identical to the
+code they replaced.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -26,6 +32,7 @@ from repro.hw.config import CpuConfig, HardwareConfig
 from repro.hw.engine import EngineReport
 from repro.runtime.context import SisaContext
 from repro.runtime.setgraph import SetGraph
+from repro.session import ExecutionConfig, RunResult, SisaSession
 
 
 class PatternBudget:
@@ -45,7 +52,11 @@ class PatternBudget:
 
 @dataclass
 class AlgorithmRun:
-    """Functional output plus the simulated timing of one run."""
+    """Functional output plus the simulated timing of one run.
+
+    Superseded by :class:`~repro.session.result.RunResult`; kept as the
+    return type of the deprecated one-shot shims.
+    """
 
     output: Any
     report: EngineReport
@@ -97,6 +108,53 @@ def oriented_setgraph(
     return digraph, sg
 
 
+# ---------------------------------------------------------------------------
+# Deprecated one-shot shims
+# ---------------------------------------------------------------------------
+
+
+def warn_one_shot(name: str, workload: str) -> None:
+    """Deprecation notice shared by every one-shot entry point."""
+    warnings.warn(
+        f"{name}() is deprecated; hold a repro.session.SisaSession and "
+        f"call session.run({workload!r}) to amortize setup across runs",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def one_shot_session(
+    graph: CSRGraph,
+    *,
+    threads: int = 32,
+    mode: str = "sisa",
+    t: float = 0.4,
+    budget: float = 0.1,
+    policy: str = "fraction",
+    **context_kwargs: Any,
+) -> SisaSession:
+    """A cold session configured exactly like the legacy kwarg sprawl."""
+    config = ExecutionConfig(
+        threads=threads,
+        mode=mode,
+        t=t,
+        budget=budget,
+        policy=policy,
+        **context_kwargs,
+    )
+    return SisaSession(graph, config)
+
+
+def one_shot_result(run: RunResult) -> AlgorithmRun:
+    """Repackage a cold-session RunResult as the legacy AlgorithmRun.
+
+    On a cold session the context's lifetime report *is* the run's
+    report, so the legacy semantics are preserved bit-for-bit.
+    """
+    ctx = run.session.ctx
+    return AlgorithmRun(output=run.output, report=ctx.report(), context=ctx)
+
+
 def run_algorithm(
     algorithm: Callable[..., Any],
     graph: CSRGraph,
@@ -113,16 +171,23 @@ def run_algorithm(
     cpu: CpuConfig | None = None,
     **kwargs: Any,
 ) -> AlgorithmRun:
-    """Build a context + SetGraph and execute ``algorithm(graph, ctx, sg, ...)``."""
-    ctx = make_context(
+    """Deprecated: run ``algorithm(graph, ctx, sg, ...)`` on a cold session.
+
+    Use ``SisaSession.run(algorithm, ...)`` instead — the session keeps
+    the context and SetGraph alive across calls.
+    """
+    warn_one_shot("run_algorithm", "<algorithm>")
+    session = one_shot_session(
+        graph,
         threads=threads,
         mode=mode,
-        hw=hw,
-        cpu=cpu,
+        t=t,
+        budget=budget,
+        policy=policy,
+        trace=trace,
         gallop_threshold=gallop_threshold,
         smb_enabled=smb_enabled,
-        trace=trace,
+        hw=hw,
+        cpu=cpu,
     )
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget, policy=policy)
-    output = algorithm(graph, ctx, sg, *args, **kwargs)
-    return AlgorithmRun(output=output, report=ctx.report(), context=ctx)
+    return one_shot_result(session.run(algorithm, *args, **kwargs))

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
@@ -75,10 +80,12 @@ def approx_degeneracy(
     budget: float = 0.1,
     **context_kwargs,
 ) -> AlgorithmRun:
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    eta = approx_degeneracy_on(graph, ctx, sg, eps=eps)
-    return AlgorithmRun(output=eta, report=ctx.report(), context=ctx)
+    """Deprecated shim: approximate degeneracy on a cold session."""
+    warn_one_shot("approx_degeneracy", "approx_degeneracy")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(session.run("approx_degeneracy", eps=eps))
 
 
 def kcore_from_eta(

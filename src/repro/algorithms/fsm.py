@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.algorithms.subgraph_iso import subgraph_isomorphism_on
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
@@ -154,7 +159,9 @@ def frequent_subgraphs(
     budget: float = 0.1,
     **context_kwargs,
 ) -> AlgorithmRun:
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    result = frequent_subgraphs_on(graph, ctx, sg, sigma=sigma, max_size=max_size)
-    return AlgorithmRun(output=result, report=ctx.report(), context=ctx)
+    """Deprecated shim: frequent subgraph mining on a cold session."""
+    warn_one_shot("frequent_subgraphs", "fsm")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(session.run("fsm", sigma=sigma, max_size=max_size))

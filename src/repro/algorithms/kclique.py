@@ -15,8 +15,9 @@ from __future__ import annotations
 from repro.algorithms.common import (
     AlgorithmRun,
     PatternBudget,
-    make_context,
-    oriented_setgraph,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
 )
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
@@ -123,13 +124,18 @@ def kclique_count(
     batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end k-clique counting/listing (kcc-k in the evaluation)."""
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    output = kclique_count_on(
-        ctx, sg, k, max_patterns=max_patterns, collect=collect, batch=batch
+    """Deprecated shim: k-clique counting/listing (kcc-k) on a cold
+    session."""
+    warn_one_shot("kclique_count", "kclique")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
-    return AlgorithmRun(output=output, report=ctx.report(), context=ctx)
+    return one_shot_result(
+        session.run(
+            "kclique", k=k, max_patterns=max_patterns, collect=collect,
+            batch=batch,
+        )
+    )
 
 
 def four_clique_count_on(
@@ -212,7 +218,11 @@ def four_clique_count(
     batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    count = four_clique_count_on(ctx, sg, max_patterns=max_patterns, batch=batch)
-    return AlgorithmRun(output=count, report=ctx.report(), context=ctx)
+    """Deprecated shim: specialized 4-clique counting on a cold session."""
+    warn_one_shot("four_clique_count", "four_clique")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(
+        session.run("four_clique", max_patterns=max_patterns, batch=batch)
+    )

@@ -16,12 +16,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
-from repro.algorithms.similarity import all_pairs_similarity_on
-from repro.errors import ConfigError
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.graphs.csr import CSRGraph
-from repro.runtime.context import SisaContext
-from repro.runtime.setgraph import SetGraph
 
 
 def edge_ids(edges: np.ndarray, n: int) -> np.ndarray:
@@ -80,49 +81,24 @@ def link_prediction_effectiveness(
     seed: int = 7,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """Run the full Algorithm 10 pipeline and report effectiveness."""
-    if not 0.0 < removal_fraction < 1.0:
-        raise ConfigError("removal_fraction must be in (0, 1)")
-    n = graph.num_vertices
-    rng = np.random.default_rng(seed)
-    edges = graph.edge_array()
-    m = edges.shape[0]
-    removed_count = max(1, int(removal_fraction * m))
-    removed_idx = rng.choice(m, size=removed_count, replace=False)
-    removed_mask = np.zeros(m, dtype=bool)
-    removed_mask[removed_idx] = True
-    sparse_edges = edges[~removed_mask]
-    removed_edges = edges[removed_mask]
+    """Deprecated shim: the full Algorithm 10 pipeline on a cold session.
 
-    sparse_graph = CSRGraph.from_edges(n, sparse_edges)
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(sparse_graph, ctx, t=t, budget=budget)
-
-    # E_rndm and (later) E_predict live in the pair-id universe.
-    pair_universe = n * n
-    e_rndm = ctx.create_set(
-        edge_ids(removed_edges, n), universe=pair_universe, dense=False
+    The pipeline itself (sparsification, candidate scoring, the final
+    ``|E_predict ∩ E_rndm|`` intersection) lives in the
+    ``link_prediction`` session workload.
+    """
+    warn_one_shot("link_prediction_effectiveness", "link_prediction")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
-
-    pairs = candidate_pairs(sparse_graph, limit=candidate_limit)
-    # Candidate scoring is the hot loop: batched count-form instruction
-    # bursts over runs of pairs sharing their first endpoint.
-    scores = all_pairs_similarity_on(ctx, sg, pairs, measure=measure, batch=batch)
-    if top_k is None:
-        top_k = removed_count
-    top_k = min(top_k, len(pairs))
-    top_idx = np.argsort(-scores, kind="stable")[:top_k]
-    predicted = pairs[np.sort(top_idx)]
-    e_predict = ctx.create_set(
-        edge_ids(predicted, n) if len(predicted) else [],
-        universe=pair_universe,
-        dense=False,
+    return one_shot_result(
+        session.run(
+            "link_prediction",
+            removal_fraction=removal_fraction,
+            measure=measure,
+            batch=batch,
+            top_k=top_k,
+            candidate_limit=candidate_limit,
+            seed=seed,
+        )
     )
-    eff = ctx.intersect_count(e_predict, e_rndm)
-    result = LinkPredictionResult(
-        effectiveness=eff,
-        removed_edges=removed_count,
-        predicted_edges=top_k,
-        precision=eff / top_k if top_k else 0.0,
-    )
-    return AlgorithmRun(output=result, report=ctx.report(), context=ctx)

@@ -11,7 +11,12 @@ import math
 
 import numpy as np
 
-from repro.algorithms.common import AlgorithmRun, make_context
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.errors import ConfigError
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
@@ -235,7 +240,9 @@ def vertex_similarity(
     mode: str = "sisa",
     **context_kwargs,
 ) -> AlgorithmRun:
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx)
-    score = similarity_on(ctx, sg, u, v, measure=measure)
-    return AlgorithmRun(output=score, report=ctx.report(), context=ctx)
+    """Deprecated shim: one pair similarity on a cold session."""
+    warn_one_shot("vertex_similarity", "similarity")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, **context_kwargs
+    )
+    return one_shot_result(session.run("similarity", u=u, v=v, measure=measure))

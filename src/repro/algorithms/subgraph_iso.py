@@ -28,7 +28,9 @@ from dataclasses import dataclass
 from repro.algorithms.common import (
     AlgorithmRun,
     PatternBudget,
-    make_context,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
 )
 from repro.graphs.csr import CSRGraph
 from repro.graphs.labels import Labeling
@@ -245,17 +247,19 @@ def subgraph_isomorphism(
     budget: float = 0.1,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end VF2 subgraph isomorphism (si-* in the evaluation)."""
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    sg = SetGraph.from_graph(graph, ctx, t=t, budget=budget)
-    output = subgraph_isomorphism_on(
-        graph,
-        ctx,
-        sg,
-        pattern,
-        target_labels=target_labels,
-        pattern_labels=pattern_labels,
-        max_matches=max_matches,
-        collect=collect,
+    """Deprecated shim: VF2 subgraph isomorphism (si-*) on a cold
+    session."""
+    warn_one_shot("subgraph_isomorphism", "subgraph_iso")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
-    return AlgorithmRun(output=output, report=ctx.report(), context=ctx)
+    return one_shot_result(
+        session.run(
+            "subgraph_iso",
+            pattern=pattern,
+            target_labels=target_labels,
+            pattern_labels=pattern_labels,
+            max_matches=max_matches,
+            collect=collect,
+        )
+    )

@@ -8,7 +8,12 @@ once and bounds the merge work by ``O(m c)`` (paper Section 7.2).
 
 from __future__ import annotations
 
-from repro.algorithms.common import AlgorithmRun, make_context, oriented_setgraph
+from repro.algorithms.common import (
+    AlgorithmRun,
+    one_shot_result,
+    one_shot_session,
+    warn_one_shot,
+)
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
 from repro.runtime.setgraph import SetGraph
@@ -50,25 +55,31 @@ def triangle_count(
     batch: bool = True,
     **context_kwargs,
 ) -> AlgorithmRun:
-    """End-to-end set-centric triangle counting."""
-    ctx = make_context(threads=threads, mode=mode, **context_kwargs)
-    __, sg = oriented_setgraph(graph, ctx, t=t, budget=budget)
-    count = triangle_count_oriented(sg, ctx, batch=batch)
-    return AlgorithmRun(output=count, report=ctx.report(), context=ctx)
+    """Deprecated shim: triangle counting on a cold session."""
+    warn_one_shot("triangle_count", "triangles")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
+    )
+    return one_shot_result(session.run("triangles", batch=batch))
 
 
 def clustering_coefficient(
-    graph: CSRGraph, *, threads: int = 32, mode: str = "sisa", **context_kwargs
+    graph: CSRGraph,
+    *,
+    threads: int = 32,
+    mode: str = "sisa",
+    t: float = 0.4,
+    budget: float = 0.1,
+    batch: bool = True,
+    **context_kwargs,
 ) -> AlgorithmRun:
-    """Global clustering coefficient: 3 * triangles / open wedges.
+    """Deprecated shim: global clustering coefficient on a cold session.
 
     The paper motivates triangle counting by clustering coefficients
     (Section 5.1.1); this derived metric exercises the same kernel.
     """
-    run = triangle_count(graph, threads=threads, mode=mode, **context_kwargs)
-    degrees = graph.degrees.astype(float)
-    wedges = float((degrees * (degrees - 1) / 2).sum())
-    coefficient = 3.0 * run.output / wedges if wedges > 0 else 0.0
-    return AlgorithmRun(
-        output=coefficient, report=run.report, context=run.context
+    warn_one_shot("clustering_coefficient", "clustering_coefficient")
+    session = one_shot_session(
+        graph, threads=threads, mode=mode, t=t, budget=budget, **context_kwargs
     )
+    return one_shot_result(session.run("clustering_coefficient", batch=batch))

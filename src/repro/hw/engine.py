@@ -42,6 +42,24 @@ class LaneState:
         return stream + self.latency_cycles
 
 
+@dataclass(frozen=True)
+class EngineMark:
+    """A point-in-time snapshot of the engine's accumulated state.
+
+    Marks delimit *runs* on a long-lived engine (the session API's
+    per-run accounting): :meth:`ExecutionEngine.report_since` computes
+    the report of everything charged after the mark.  A mark taken on a
+    fresh engine is all zeros, so ``report_since(mark)`` on a cold
+    engine is bit-identical to :meth:`ExecutionEngine.report`.
+    """
+
+    compute: tuple[float, ...]
+    memory: tuple[float, ...]
+    latency: tuple[float, ...]
+    tasks: tuple[int, ...]
+    sequential_overhead: float
+
+
 @dataclass
 class EngineReport:
     """Summary of a simulated parallel region."""
@@ -145,6 +163,48 @@ class ExecutionEngine:
         for x in latency:
             acc += x
         lane.latency_cycles = acc
+
+    # -- run marks -----------------------------------------------------------
+
+    def mark(self) -> EngineMark:
+        """Snapshot the accumulated lane state (start of a new run)."""
+        lanes = self._lanes
+        return EngineMark(
+            compute=tuple(lane.compute_cycles for lane in lanes),
+            memory=tuple(lane.memory_bytes for lane in lanes),
+            latency=tuple(lane.latency_cycles for lane in lanes),
+            tasks=tuple(lane.tasks for lane in lanes),
+            sequential_overhead=self._sequential_overhead,
+        )
+
+    def report_since(self, mark: EngineMark) -> EngineReport:
+        """Report of the region charged after ``mark``.
+
+        Per-lane deltas are rebuilt into :class:`LaneState` records and
+        timed exactly like :meth:`report` does, so a mark taken on a
+        fresh engine yields a report bit-identical to the full one.
+        """
+        if len(mark.compute) != len(self._lanes):
+            raise ConfigError("mark belongs to a different engine shape")
+        deltas = [
+            LaneState(
+                compute_cycles=lane.compute_cycles - mark.compute[i],
+                memory_bytes=lane.memory_bytes - mark.memory[i],
+                latency_cycles=lane.latency_cycles - mark.latency[i],
+                tasks=lane.tasks - mark.tasks[i],
+            )
+            for i, lane in enumerate(self._lanes)
+        ]
+        lane_times = [lane.time(self.bytes_per_cycle) for lane in deltas]
+        lane_memory = [lane.memory_time(self.bytes_per_cycle) for lane in deltas]
+        sequential = self._sequential_overhead - mark.sequential_overhead
+        runtime = (max(lane_times) if lane_times else 0.0) + sequential
+        return EngineReport(
+            runtime_cycles=runtime,
+            lane_times=lane_times,
+            lane_memory_times=lane_memory,
+            tasks=sum(lane.tasks for lane in deltas),
+        )
 
     # -- reporting -----------------------------------------------------------
 

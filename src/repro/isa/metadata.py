@@ -40,6 +40,9 @@ class SetMetadataTable:
         self._values: dict[int, VertexSet] = {}
         self._ids = itertools.count(1)
         self._next_address = 0x1000_0000
+        # Monotonic count of register() calls — the session API's reuse
+        # benchmark asserts a warm run performs zero re-registrations.
+        self.registrations = 0
         # Freed SM slots are recycled (id + SetMeta record) so hot
         # create/free loops (e.g. per-edge intermediates in k-clique)
         # do not grow the id space or re-allocate metadata records.
@@ -48,6 +51,7 @@ class SetMetadataTable:
         self._free: list[SetMeta] = []
 
     def register(self, value: VertexSet) -> int:
+        self.registrations += 1
         if self._free:
             meta = self._free.pop()
             set_id = meta.set_id

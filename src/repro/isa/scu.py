@@ -47,6 +47,35 @@ class DispatchStats:
         self.instructions += 1
         self.by_opcode[opcode] = self.by_opcode.get(opcode, 0) + 1
 
+    def snapshot(self) -> "DispatchStats":
+        """A frozen copy of the counters (start of a new run)."""
+        return DispatchStats(
+            instructions=self.instructions,
+            pum_ops=self.pum_ops,
+            pnm_ops=self.pnm_ops,
+            host_ops=self.host_ops,
+            merge_picks=self.merge_picks,
+            gallop_picks=self.gallop_picks,
+            by_opcode=dict(self.by_opcode),
+        )
+
+    def since(self, mark: "DispatchStats") -> "DispatchStats":
+        """Counter deltas accumulated after ``mark`` (per-run stats)."""
+        by_opcode = {
+            opcode: count - mark.by_opcode.get(opcode, 0)
+            for opcode, count in self.by_opcode.items()
+            if count != mark.by_opcode.get(opcode, 0)
+        }
+        return DispatchStats(
+            instructions=self.instructions - mark.instructions,
+            pum_ops=self.pum_ops - mark.pum_ops,
+            pnm_ops=self.pnm_ops - mark.pnm_ops,
+            host_ops=self.host_ops - mark.host_ops,
+            merge_picks=self.merge_picks - mark.merge_picks,
+            gallop_picks=self.gallop_picks - mark.gallop_picks,
+            by_opcode=by_opcode,
+        )
+
 
 @dataclass(frozen=True)
 class Dispatch:

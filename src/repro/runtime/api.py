@@ -30,6 +30,12 @@ class SisaSet:
         diff = A - B
         count = A.intersect_count(B)
         for v in A: ...
+
+    Sets are context managers, so scoped temporaries are freed without
+    leaking set IDs::
+
+        with A & B as shared:
+            ...                # shared.free() runs on exit
     """
 
     __slots__ = ("ctx", "set_id")
@@ -56,6 +62,14 @@ class SisaSet:
 
     def free(self) -> None:
         self.ctx.free(self.set_id)
+
+    # -- scoped lifetime ------------------------------------------------------
+
+    def __enter__(self) -> "SisaSet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
 
     # -- operators -----------------------------------------------------------
 
@@ -91,6 +105,33 @@ class SisaSet:
 
     def difference_count(self, other: "SisaSet") -> int:
         return self.ctx.difference_count(self.set_id, other.set_id)
+
+    # -- batched / CISC forms (parity with the batched runtime) ---------------
+
+    def intersect_count_batch(self, others: Iterable["SisaSet"]) -> np.ndarray:
+        """``|A ∩ B_i|`` over a whole frontier of sets: one amortized
+        count burst, cycle-identical to the sequential stream."""
+        return self.ctx.intersect_count_batch(
+            self.set_id, [other.set_id for other in others]
+        )
+
+    def intersect_batch(self, others: Iterable["SisaSet"]) -> list["SisaSet"]:
+        """Materializing batched intersection over a frontier."""
+        return [
+            self._wrap(set_id)
+            for set_id in self.ctx.intersect_batch(
+                self.set_id, [other.set_id for other in others]
+            )
+        ]
+
+    def intersect_many(self, *others: "SisaSet") -> "SisaSet":
+        """CISC-style multi-set intersection ``A ∩ B_1 ∩ ... ∩ B_l``
+        (one instruction; intermediates stay in the accelerator)."""
+        return self._wrap(
+            self.ctx.intersect_many(
+                self.set_id, *(other.set_id for other in others)
+            )
+        )
 
     # -- elements -------------------------------------------------------------
 
@@ -144,13 +185,20 @@ class CApi:
 
     # void insert(SetId id, Vertex v, ...);
     def insert(self, set_id: int, *vertices: int) -> None:
-        for v in vertices:
-            self.ctx.insert(set_id, v)
+        """Variadic element insert: one batched element-update dispatch
+        burst (cycle-identical to the scalar per-vertex stream)."""
+        if len(vertices) == 1:
+            self.ctx.insert(set_id, vertices[0])
+        elif vertices:
+            self.ctx.insert_batch([(set_id, v) for v in vertices])
 
     # void remove(SetId id, Vertex v, ...);
     def remove(self, set_id: int, *vertices: int) -> None:
-        for v in vertices:
-            self.ctx.remove(set_id, v)
+        """Variadic element remove, batched like :meth:`insert`."""
+        if len(vertices) == 1:
+            self.ctx.remove(set_id, vertices[0])
+        elif vertices:
+            self.ctx.remove_batch([(set_id, v) for v in vertices])
 
     # SetId union(SetId A, SetId B, ...);
     def union(self, a: int, b: int) -> int:

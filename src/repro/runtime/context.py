@@ -22,6 +22,7 @@ a :class:`~repro.baselines.cpu_kernels.CpuCostModel` directly.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -29,10 +30,10 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.hw.config import CpuConfig, HardwareConfig
 from repro.hw.cost import Cost
-from repro.hw.engine import EngineReport, ExecutionEngine
+from repro.hw.engine import EngineMark, EngineReport, ExecutionEngine
 from repro.isa.metadata import SetMetadataTable
 from repro.isa.opcodes import Opcode, SetOp
-from repro.isa.scu import Scu
+from repro.isa.scu import DispatchStats, Scu
 from repro.runtime import batch as batchmod
 from repro.runtime.trace import Trace, TraceEvent
 from repro.sets import kernels
@@ -41,6 +42,15 @@ from repro.sets.dense import DenseBitvector
 from repro.sets.sparse import SparseArray
 
 MODES = ("sisa", "cpu-set")
+
+
+@dataclass(frozen=True)
+class ContextMark:
+    """Run boundary on a long-lived context (see :meth:`SisaContext.mark`)."""
+
+    engine: "EngineMark"
+    stats: "DispatchStats"
+    registrations: int
 
 
 class SisaContext:
@@ -150,6 +160,17 @@ class SisaContext:
     def free(self, set_id: int) -> None:
         dispatch = self.scu.dispatch_delete(self.sm.meta(set_id))
         self.engine.charge(dispatch.cost)
+        self.sm.delete(set_id)
+
+    def release(self, set_id: int) -> None:
+        """Model-internal set teardown (graph unloading): drop the SM
+        entry and invalidate any cached SMB entry without dispatching a
+        DELETE instruction.  Counterpart of ``register(charge=False)``
+        — used for structures whose setup was outside the measured
+        region.  The SMB invalidation matters: freed IDs are recycled,
+        and a stale SMB entry would turn a recycled set's first
+        metadata fetch into a false hit."""
+        self.scu.smb.invalidate(set_id)
         self.sm.delete(set_id)
 
     def clone(self, set_id: int) -> int:
@@ -589,6 +610,29 @@ class SisaContext:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+
+    def mark(self) -> "ContextMark":
+        """Snapshot engine + SCU + SM state (start of a run).
+
+        The session API brackets each ``run`` with a mark so a
+        long-lived context can still report per-run cycles, instruction
+        stats and set registrations.  On a fresh context the deltas are
+        bit-identical to the absolute report.
+        """
+        return ContextMark(
+            engine=self.engine.mark(),
+            stats=self.scu.stats.snapshot(),
+            registrations=self.sm.registrations,
+        )
+
+    def report_since(self, mark: "ContextMark") -> EngineReport:
+        return self.engine.report_since(mark.engine)
+
+    def stats_since(self, mark: "ContextMark"):
+        return self.scu.stats.since(mark.stats)
+
+    def registrations_since(self, mark: "ContextMark") -> int:
+        return self.sm.registrations - mark.registrations
 
     def report(self) -> EngineReport:
         return self.engine.report()

@@ -1,0 +1,111 @@
+"""ExecutionConfig: the single home of every execution knob.
+
+Before the session API, the same ~10 keyword arguments (``threads``,
+``mode``, ``t``, ``budget``, ``policy``, ``gallop_threshold``,
+``smb_enabled``, ``hw``, ``cpu``, ``trace``, ``batch``) were copy-pasted
+across ``run_algorithm`` and every algorithm entry point.  They now live
+in one frozen, validated dataclass; a :class:`SisaSession` is configured
+once and every run inherits the configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.hw.config import CpuConfig, HardwareConfig
+
+MODES = ("sisa", "cpu-set")
+POLICIES = ("fraction", "threshold")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Everything that shapes how a session executes workloads.
+
+    Machine knobs (``SisaContext`` construction):
+
+    * ``threads`` — simulated thread lanes (paper: up to 32),
+    * ``mode`` — ``"sisa"`` (PIM offload) or ``"cpu-set"`` (host
+      ``_set-based`` baseline),
+    * ``hw`` / ``cpu`` — hardware parameter overrides,
+    * ``gallop_threshold`` — merge-vs-galloping crossover override,
+    * ``smb_enabled`` — Set Metadata Buffer cache on/off,
+    * ``trace`` — per-instruction trace recording.
+
+    Graph-structure knobs (``SetGraph`` construction, paper Section 6.1):
+
+    * ``t`` — DB bias (fraction or threshold, per ``policy``),
+    * ``budget`` — extra-storage budget as a fraction of the all-SA
+      footprint,
+    * ``policy`` — ``"fraction"`` or ``"threshold"``.
+
+    Execution-style knobs:
+
+    * ``batch`` — default for workloads that support batched
+      instruction bursts (individual runs may override per call).
+    """
+
+    threads: int = 32
+    mode: str = "sisa"
+    t: float = 0.4
+    budget: float = 0.1
+    policy: str = "fraction"
+    gallop_threshold: float | None = None
+    smb_enabled: bool = True
+    hw: HardwareConfig | None = None
+    cpu: CpuConfig | None = None
+    trace: bool = False
+    batch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ConfigError("threads must be positive")
+        if self.mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if not 0.0 <= self.t <= 1.0:
+            raise ConfigError("t must be in [0, 1]")
+        if self.budget < 0.0:
+            raise ConfigError("budget must be non-negative")
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "ExecutionConfig":
+        """A copy with some knobs changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def make_context(self):
+        """Build a fresh simulated machine from the machine knobs."""
+        from repro.runtime.context import SisaContext
+
+        return SisaContext(
+            threads=self.threads,
+            mode=self.mode,
+            hw=self.hw,
+            cpu=self.cpu,
+            gallop_threshold=self.gallop_threshold,
+            smb_enabled=self.smb_enabled,
+            trace=self.trace,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """A plain-dict echo of the knobs (for RunResult reporting)."""
+        return {
+            "threads": self.threads,
+            "mode": self.mode,
+            "t": self.t,
+            "budget": self.budget,
+            "policy": self.policy,
+            "gallop_threshold": self.gallop_threshold,
+            "smb_enabled": self.smb_enabled,
+            "hw": self.hw,
+            "cpu": self.cpu,
+            "trace": self.trace,
+            "batch": self.batch,
+        }

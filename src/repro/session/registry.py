@@ -1,0 +1,101 @@
+"""The workload registry: uniform names for every session workload.
+
+A *workload* is a named, session-aware entry point: it receives the
+owning :class:`~repro.session.session.SisaSession` plus its own keyword
+parameters, pulls whatever cached structure it needs (undirected or
+degeneracy-oriented SetGraph, the live stream, a snapshot view) and
+returns its functional output.  Registration is declarative::
+
+    @workload("triangles", requires="oriented", view_capable=True)
+    def _triangles(session, *, batch=None, view=None):
+        ...
+
+``session.run("triangles")`` then dispatches through the registry and
+wraps the output in a uniform :class:`~repro.session.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+
+REQUIRES = ("none", "undirected", "oriented", "both")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry entry."""
+
+    name: str
+    fn: Callable[..., Any]
+    description: str
+    # Which cached structure the workload reads: one of REQUIRES, or a
+    # callable mapping the run's params to one (for workloads whose
+    # needs depend on a parameter, e.g. kclique_star's variant).
+    requires: str | Callable[[dict], str]
+    view_capable: bool  # can run against a snapshot / dynamic view
+
+    def requires_for(self, params: dict) -> str:
+        req = self.requires(params) if callable(self.requires) else self.requires
+        if req not in REQUIRES:
+            raise ConfigError(f"requires must be one of {REQUIRES}, got {req!r}")
+        return req
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def workload(
+    name: str,
+    *,
+    requires: str | Callable[[dict], str] = "undirected",
+    view_capable: bool = False,
+    description: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a session workload under ``name``."""
+    if not callable(requires) and requires not in REQUIRES:
+        raise ConfigError(f"requires must be one of {REQUIRES}")
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in _REGISTRY:
+            raise ConfigError(f"workload {name!r} is already registered")
+        doc_line = next(iter((fn.__doc__ or "").strip().splitlines()), "")
+        _REGISTRY[name] = WorkloadSpec(
+            name=name,
+            fn=fn,
+            description=description or doc_line,
+            requires=requires,
+            view_capable=view_capable,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_default_workloads() -> None:
+    """Load the built-in workload definitions.
+
+    Deferred (not imported by ``repro.session``'s ``__init__``) because
+    the definitions import the algorithm kernels, whose modules import
+    ``repro.session`` for their deprecated one-shot shims.
+    """
+    import repro.session.workloads  # noqa: F401  (registration side effect)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    _ensure_default_workloads()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {known}"
+        ) from None
+
+
+def available_workloads() -> dict[str, str]:
+    """Mapping of registered workload names to their descriptions."""
+    _ensure_default_workloads()
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}

@@ -1,0 +1,60 @@
+"""RunResult: the uniform result record of every session run.
+
+Supersedes the per-call ``AlgorithmRun`` (kept only for the deprecated
+one-shot shims): on top of the functional output and the engine report
+it carries *per-run* instruction stats, the set-registration count and
+a configuration echo, all delimited by the engine epoch marks the
+session takes around each run — so a warm session still reports each
+run's own cost, not the context's lifetime accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.hw.engine import EngineReport
+from repro.isa.opcodes import Opcode
+from repro.isa.scu import DispatchStats
+from repro.session.config import ExecutionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.session.session import SisaSession
+
+
+@dataclass
+class RunResult:
+    """Functional output plus the per-run accounting of one workload run."""
+
+    workload: str
+    output: Any
+    report: EngineReport  # this run's engine delta
+    stats: DispatchStats  # this run's SCU counter deltas
+    registrations: int  # sets registered during this run
+    config: ExecutionConfig  # configuration echo
+    params: dict[str, Any]  # workload parameters echo
+    warm: bool  # True when cached structures were reused
+    session: "SisaSession"
+
+    @property
+    def runtime_cycles(self) -> float:
+        return self.report.runtime_cycles
+
+    @property
+    def runtime_mcycles(self) -> float:
+        """Millions of cycles — the unit of the paper's Fig. 6 y-axis."""
+        return self.report.runtime_cycles / 1e6
+
+    @property
+    def instructions(self) -> int:
+        """SISA instructions dispatched by this run."""
+        return self.stats.instructions
+
+    def opcode_counts(self) -> dict[Opcode, int]:
+        """Per-opcode instruction counts of this run."""
+        return dict(self.stats.by_opcode)
+
+    @property
+    def context(self):
+        """The owning session's context (whole-session state)."""
+        return self.session.ctx

@@ -1,0 +1,320 @@
+"""SisaSession: the persistent software layer over one graph.
+
+The paper's Fig. 3 software layer is a *persistent* runtime — set
+storage, SMB state and representation decisions live across queries.
+A :class:`SisaSession` makes the public API match: it owns one
+:class:`~repro.runtime.context.SisaContext` for the lifetime of the
+graph and lazily builds + caches the expensive derived structures
+
+* the undirected :class:`~repro.runtime.setgraph.SetGraph`,
+* the degeneracy order, and
+* the degeneracy-oriented ``SetGraph`` (``N+`` sets),
+
+so repeated runs of any workload skip all setup.  Each ``run`` is
+bracketed by engine epoch marks (:meth:`SisaContext.mark`), so a warm
+session still reports every run's own cycles, instruction stats and
+set registrations in a uniform :class:`RunResult`.
+
+Streaming workloads bind a
+:class:`~repro.streaming.graph.DynamicSetGraph` to the same context via
+:meth:`attach_stream`; snapshot analytics route through the same
+:meth:`run` path (``session.run("triangles", view=snap)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph, orient_by_order
+from repro.graphs.orientation import DegeneracyResult, degeneracy_order
+from repro.runtime.setgraph import SetGraph
+from repro.session.config import ExecutionConfig
+from repro.session.registry import WorkloadSpec, get_workload
+from repro.session.result import RunResult
+
+
+class SisaSession:
+    """A long-lived workload runner bound to one graph + one machine.
+
+    ::
+
+        session = SisaSession(graph, ExecutionConfig(threads=32))
+        cold = session.run("triangles")       # builds orientation + sets
+        warm = session.run("triangles")       # reuses everything
+        assert warm.output == cold.output
+
+    Configuration can also be given as keyword overrides::
+
+        SisaSession(graph, threads=8, mode="cpu-set")
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: ExecutionConfig | None = None,
+        **overrides: Any,
+    ):
+        if config is not None and overrides:
+            config = config.replace(**overrides)
+        elif config is None:
+            config = ExecutionConfig(**overrides)
+        self.graph = graph
+        self.config = config
+        self.ctx = config.make_context()
+        self.run_count = 0
+        self._setgraph: SetGraph | None = None
+        self._degeneracy: DegeneracyResult | None = None
+        self._degeneracy_version: tuple[int, int] | None = None
+        self._digraph: DiGraph | None = None
+        self._oriented: SetGraph | None = None
+        self._oriented_version: tuple[int, int] | None = None
+        self._csr_cache: CSRGraph | None = None
+        self._csr_version: tuple[int, int] | None = None
+        self._stream = None
+
+    # ------------------------------------------------------------------
+    # Cached derived structures
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The stream epoch the session's graph state is at (0 when no
+        stream is attached)."""
+        return self._stream.epoch if self._stream is not None else 0
+
+    @property
+    def _version(self) -> tuple[int, int]:
+        """Cache key for the stream state: (epoch, mutation count).
+
+        The mutation count invalidates derived caches even for updates
+        applied *mid-batch* (before ``finish_batch`` advances the
+        epoch), so static runs never mix a stale CSR/orientation with
+        the live mutated sets.
+        """
+        if self._stream is None:
+            return (0, 0)
+        return (self._stream.epoch, self._stream.mutations)
+
+    @property
+    def current_graph(self) -> CSRGraph:
+        """The CSR view of the current graph state.
+
+        Identical to the construction graph until an attached stream
+        mutates it; then it is rebuilt (model-internal, uncharged —
+        graph loading is outside the measured region) and cached per
+        stream version.
+        """
+        if self._stream is None or self._version == (0, 0):
+            return self.graph
+        if self._csr_version != self._version:
+            edges = self._stream.edge_array()
+            self._csr_cache = CSRGraph.from_edges(
+                self._stream.num_vertices, edges
+            )
+            self._csr_version = self._version
+        assert self._csr_cache is not None
+        return self._csr_cache
+
+    @property
+    def setgraph(self) -> SetGraph:
+        """The undirected neighborhood SetGraph (built once).
+
+        When a stream is attached it shares set IDs with the
+        :class:`DynamicSetGraph`, so it always reflects the live state.
+        """
+        if self._setgraph is None:
+            self._setgraph = SetGraph.from_graph(
+                self.graph,
+                self.ctx,
+                t=self.config.t,
+                budget=self.config.budget,
+                policy=self.config.policy,
+            )
+        return self._setgraph
+
+    @property
+    def degeneracy(self) -> DegeneracyResult:
+        """The degeneracy order of the current graph state (cached per
+        stream version; host-side work, charges nothing — as in the
+        one-shot path)."""
+        if self._degeneracy is None or self._degeneracy_version != self._version:
+            self._degeneracy = degeneracy_order(self.current_graph)
+            self._degeneracy_version = self._version
+        return self._degeneracy
+
+    @property
+    def oriented_setgraph(self) -> SetGraph:
+        """The degeneracy-oriented ``N+`` SetGraph (cached per stream
+        version)."""
+        if self._oriented is None or self._oriented_version != self._version:
+            if self._oriented is not None:
+                self._release_setgraph(self._oriented)
+            self._digraph = orient_by_order(
+                self.current_graph, self.degeneracy.order
+            )
+            self._oriented = SetGraph.from_digraph(
+                self._digraph,
+                self.ctx,
+                t=self.config.t,
+                budget=self.config.budget,
+                policy=self.config.policy,
+            )
+            self._oriented_version = self._version
+        return self._oriented
+
+    @property
+    def digraph(self) -> DiGraph:
+        self.oriented_setgraph  # ensure built
+        assert self._digraph is not None
+        return self._digraph
+
+    def _release_setgraph(self, sg: SetGraph) -> None:
+        """Drop a stale derived SetGraph's SM entries.
+
+        Registration was uncharged (graph loading); teardown of a stale
+        epoch's orientation is likewise model-internal.
+        """
+        for sid in sg.set_ids:
+            self.ctx.release(sid)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    def attach_stream(self, *, dense_bits: float = 1.0, sparse_bits: float = 0.25):
+        """Bind a :class:`DynamicSetGraph` over the session's sets.
+
+        The dynamic view shares set IDs with :attr:`setgraph`, so every
+        undirected workload automatically sees the evolving state;
+        orientation-based workloads re-orient when the epoch advances.
+        Returns the dynamic graph (drive it directly or through a
+        :class:`~repro.streaming.engine.StreamingEngine`).
+        """
+        from repro.streaming.graph import DynamicSetGraph
+
+        if self._stream is not None:
+            raise ConfigError("a stream is already attached to this session")
+        self._stream = DynamicSetGraph(
+            self.setgraph, dense_bits=dense_bits, sparse_bits=sparse_bits
+        )
+        return self._stream
+
+    @property
+    def stream(self):
+        """The attached :class:`DynamicSetGraph` (raises if none)."""
+        if self._stream is None:
+            raise ConfigError(
+                "no stream attached; call session.attach_stream() first"
+            )
+        return self._stream
+
+    def snapshot(self):
+        """Capture the attached stream's current epoch as a consistent
+        read-only view (copy-on-write)."""
+        return self.stream.snapshot()
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+
+    def _is_warm(self, spec: WorkloadSpec, view, params: dict) -> bool:
+        if view is not None:
+            return self.run_count > 0
+        requires = spec.requires_for(params)
+        undirected_ready = self._setgraph is not None
+        oriented_ready = (
+            self._oriented is not None and self._oriented_version == self._version
+        )
+        if requires == "undirected":
+            return undirected_ready
+        if requires == "oriented":
+            return oriented_ready
+        if requires == "both":
+            return undirected_ready and oriented_ready
+        return self.run_count > 0  # "none"
+
+    def run(
+        self,
+        workload: str | Callable[..., Any],
+        *args: Any,
+        view=None,
+        **params: Any,
+    ) -> RunResult:
+        """Execute a workload and return its :class:`RunResult`.
+
+        ``workload`` is a registered name (see
+        :func:`~repro.session.registry.available_workloads`) or a
+        legacy-style callable ``fn(graph, ctx, setgraph, *args,
+        **params)`` run against the undirected SetGraph.
+
+        ``view`` routes a view-capable workload against a
+        :class:`GraphSnapshot` (or the live :class:`DynamicSetGraph`)
+        instead of the session's static structures.
+        """
+        if callable(workload):
+            if view is not None:
+                raise ConfigError("view runs require a registered workload")
+            name = getattr(workload, "__name__", repr(workload))
+            warm = self._setgraph is not None
+            mark = self.ctx.mark()
+            output = workload(
+                self.current_graph, self.ctx, self.setgraph, *args, **params
+            )
+        else:
+            if args:
+                raise ConfigError(
+                    "registered workloads take keyword parameters only"
+                )
+            spec = get_workload(workload)
+            name = spec.name
+            if view is not None and not spec.view_capable:
+                raise ConfigError(
+                    f"workload {name!r} cannot run against a view"
+                )
+            warm = self._is_warm(spec, view, params)
+            mark = self.ctx.mark()
+            if view is not None:
+                output = spec.fn(self, view=view, **params)
+            else:
+                output = spec.fn(self, **params)
+        result = RunResult(
+            workload=name,
+            output=output,
+            report=self.ctx.report_since(mark),
+            stats=self.ctx.stats_since(mark),
+            registrations=self.ctx.registrations_since(mark),
+            config=self.config,
+            params=dict(params),
+            warm=warm,
+            session=self,
+        )
+        self.run_count += 1
+        return result
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"SisaSession(n={self.graph.num_vertices}, "
+            f"mode={self.config.mode!r}, threads={self.config.threads}, "
+            f"runs={self.run_count}, epoch={self.epoch})"
+        )
+
+
+def run_workload(
+    graph: CSRGraph,
+    workload: str,
+    *,
+    config: ExecutionConfig | None = None,
+    view=None,
+    **params: Any,
+) -> RunResult:
+    """One-shot convenience: build a cold session and run one workload.
+
+    Exists for scripts that genuinely run a single query; anything that
+    issues repeated queries over the same graph should hold a
+    :class:`SisaSession` instead.
+    """
+    return SisaSession(graph, config).run(workload, view=view, **params)

@@ -147,6 +147,12 @@ class DynamicSetGraph(_SetView):
         self._dense_degree = dense_bits * base.universe / WORD_BITS
         self._sparse_degree = sparse_bits * base.universe / WORD_BITS
         self.epoch = 0
+        # Counts every applied update burst, including mid-batch ones
+        # (epoch only advances at finish_batch).  Consumers caching
+        # derived state — e.g. a session's CSR/orientation caches — key
+        # on (epoch, mutations) so partially applied batches are never
+        # mistaken for the last finished epoch.
+        self.mutations = 0
 
     @classmethod
     def from_graph(
@@ -196,6 +202,7 @@ class DynamicSetGraph(_SetView):
             edges = canonical_edges(edges, self.num_vertices)
         if edges.shape[0] == 0:
             return edges
+        self.mutations += 1
         flags = self.ctx.insert_batch(self._edge_updates(edges))
         return edges[flags[0::2]]
 
@@ -208,6 +215,7 @@ class DynamicSetGraph(_SetView):
             edges = canonical_edges(edges, self.num_vertices)
         if edges.shape[0] == 0:
             return edges
+        self.mutations += 1
         flags = self.ctx.remove_batch(self._edge_updates(edges))
         return edges[flags[0::2]]
 

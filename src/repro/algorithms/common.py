@@ -113,14 +113,36 @@ def oriented_setgraph(
 # ---------------------------------------------------------------------------
 
 
-def warn_one_shot(name: str, workload: str) -> None:
-    """Deprecation notice shared by every one-shot entry point."""
+# Entry points that already warned this process (the standard warning
+# filters dedupe per *call site*, so a shim hammered from a loop — or
+# from many modules of the same application — would re-warn on every
+# new location; one notice per entry point is enough).
+_warned_one_shots: set[str] = set()
+
+
+def warn_one_shot(name: str, workload: str, *, stacklevel: int = 3) -> None:
+    """Deprecation notice shared by every one-shot entry point.
+
+    Emitted once per entry point per process, and attributed to the
+    *caller* of the shim (``stacklevel=3``: ``warnings.warn`` → this
+    helper → the shim → its caller), so the notice points at the code
+    that needs migrating, not at the shim.  Wrappers that add a frame
+    between the user and the shim can pass a larger ``stacklevel``.
+    """
+    if name in _warned_one_shots:
+        return
+    _warned_one_shots.add(name)
     warnings.warn(
         f"{name}() is deprecated; hold a repro.session.SisaSession and "
         f"call session.run({workload!r}) to amortize setup across runs",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
+
+
+def reset_one_shot_warnings() -> None:
+    """Re-arm every one-shot deprecation notice (test support)."""
+    _warned_one_shots.clear()
 
 
 def one_shot_session(

@@ -23,3 +23,8 @@ class DatasetError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid hardware or runtime configuration."""
+
+
+class SisaError(ReproError):
+    """Invalid use of the runtime API at execution time (e.g. reading a
+    released snapshot whose set IDs may already be recycled)."""

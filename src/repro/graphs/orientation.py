@@ -40,18 +40,35 @@ class DegeneracyResult:
     degeneracy: int
 
 
-def _result_from_order(graph: CSRGraph, order: np.ndarray) -> DegeneracyResult:
+def induced_out_degrees(graph: CSRGraph, rank: np.ndarray) -> np.ndarray:
+    """Per-vertex out-degree of the orientation induced by ``rank``.
+
+    ``rank`` is any array of distinct keys (a maintained rank need not
+    be a dense permutation — rank repair appends past ``n``): the arc
+    of edge ``{u, v}`` leaves the lower-ranked endpoint.  One
+    vectorized pass over the adjacency arrays, ``O(m)``.
+    """
+    n = graph.num_vertices
+    if graph.targets.size == 0:
+        return np.zeros(n, dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    outgoing = rank[graph.targets] > rank[src]
+    return np.bincount(src[outgoing], minlength=n)
+
+
+def result_from_order(graph: CSRGraph, order: np.ndarray) -> DegeneracyResult:
+    """Package an order as a :class:`DegeneracyResult` (rank array plus
+    the induced-orientation out-degree bound)."""
     n = graph.num_vertices
     rank = np.empty(n, dtype=VERTEX_DTYPE)
     rank[order] = np.arange(n, dtype=VERTEX_DTYPE)
-    # Out-degree of the orientation induced by the order.
-    max_out = 0
-    for v in range(n):
-        nbrs = graph.neighbors(v)
-        if nbrs.size:
-            out = int(np.count_nonzero(rank[nbrs] > rank[v]))
-            max_out = max(max_out, out)
+    out = induced_out_degrees(graph, rank)
+    max_out = int(out.max()) if out.size else 0
     return DegeneracyResult(order=order, rank=rank, degeneracy=max_out)
+
+
+# Backwards-compatible internal alias.
+_result_from_order = result_from_order
 
 
 def degeneracy_order(graph: CSRGraph) -> DegeneracyResult:

@@ -16,6 +16,7 @@ The built-in workload definitions live in
 :mod:`repro.session.workloads` and are registered on first use.
 """
 
+from repro.session.cache import CacheStats, ResultCache
 from repro.session.config import ExecutionConfig
 from repro.session.registry import (
     WorkloadSpec,
@@ -27,7 +28,9 @@ from repro.session.result import RunResult
 from repro.session.session import SisaSession, run_workload
 
 __all__ = [
+    "CacheStats",
     "ExecutionConfig",
+    "ResultCache",
     "RunResult",
     "SisaSession",
     "WorkloadSpec",

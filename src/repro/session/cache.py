@@ -1,0 +1,163 @@
+"""Epoch-keyed result caching for session workloads.
+
+Every registered workload is a deterministic function of (workload
+name, parameters, graph state), and a session knows exactly when its
+graph state changes: the attached stream's ``(epoch, mutations)``
+version.  So repeated identical runs on an unchanged graph can be
+answered from a cache in O(1) — no instructions dispatched, no sets
+registered — while any mutation (or explicit invalidation) naturally
+misses, because the version is part of the key.
+
+Parameters are canonicalized structurally (NumPy arrays by value,
+graphs by their CSR arrays); a parameter the cache cannot canonicalize
+makes that run uncacheable — counted in :class:`CacheStats.skips` —
+rather than risking a false hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one session's result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    skips: int = 0  # uncacheable runs (views, callables, odd params)
+    invalidations: int = 0  # entries dropped by explicit invalidation
+    evictions: int = 0  # entries dropped by the LRU size bound
+
+
+def isolate_output(value: Any):
+    """A defensive copy of a cached output's mutable array state.
+
+    Cached outputs are stored and served across runs; without this, a
+    caller mutating a returned array in place would poison every later
+    cache hit (and the first caller's result would alias the cache
+    entry).  Arrays are copied recursively through the common
+    containers; other objects pass through by reference.
+    """
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, list):
+        return [isolate_output(v) for v in value]
+    if isinstance(value, tuple):
+        if hasattr(value, "_fields"):  # NamedTuple: preserve the type
+            return type(value)(*(isolate_output(v) for v in value))
+        return tuple(isolate_output(v) for v in value)
+    if isinstance(value, dict):
+        return {k: isolate_output(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.replace(
+            value,
+            **{
+                f.name: isolate_output(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+                if f.init
+            },
+        )
+    return value
+
+
+def canonical_param(value: Any):
+    """A hashable, by-value canonical form of one workload parameter.
+
+    Returns ``None`` when the value cannot be canonicalized safely —
+    the caller must then skip caching (``None`` is itself encoded, so
+    a literal ``None`` parameter stays cacheable).
+    """
+    if value is None:
+        return ("none",)
+    if isinstance(value, (bool, int, float, str, bytes)):
+        return (type(value).__name__, value)
+    if isinstance(value, np.generic):
+        return ("npscalar", value.item())
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        parts = tuple(canonical_param(v) for v in value)
+        if any(p is None for p in parts):
+            return None
+        return ("seq", parts)
+    if isinstance(value, (set, frozenset)):
+        parts = tuple(sorted(map(canonical_param, value), key=repr))
+        if any(p is None for p in parts):
+            return None
+        return ("set", parts)
+    if isinstance(value, dict):
+        items = []
+        for k in sorted(value, key=repr):
+            part = canonical_param(value[k])
+            if part is None:
+                return None
+            items.append((repr(k), part))
+        return ("dict", tuple(items))
+    offsets = getattr(value, "offsets", None)
+    targets = getattr(value, "targets", None)
+    if isinstance(offsets, np.ndarray) and isinstance(targets, np.ndarray):
+        # CSRGraph / DiGraph pattern arguments, keyed by structure.
+        return ("csr", offsets.tobytes(), targets.tobytes())
+    return None
+
+
+class ResultCache:
+    """A bounded LRU cache of workload outputs keyed on
+    ``(workload, canonical params, stream version)``."""
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def make_key(
+        self, workload: str, params: dict, version: tuple
+    ) -> tuple | None:
+        """The cache key for one run, or ``None`` if uncacheable."""
+        canon = canonical_param(params)
+        if canon is None:
+            self.stats.skips += 1
+            return None
+        return (workload, canon, version)
+
+    def get(self, key: tuple) -> Any:
+        """The cached output wrapper for ``key`` (``None`` on miss);
+        refreshes LRU order on hit.  Array state is copied out, so
+        callers cannot poison the entry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return (isolate_output(entry[0]),)
+
+    def put(self, key: tuple, output: Any) -> None:
+        self._entries[key] = (isolate_output(output),)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, workload: str | None = None) -> int:
+        """Drop every entry (or only one workload's entries).  Returns
+        the number of entries dropped."""
+        if workload is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [k for k in self._entries if k[0] == workload]
+            for k in stale:
+                del self._entries[k]
+            dropped = len(stale)
+        self.stats.invalidations += dropped
+        return dropped

@@ -45,7 +45,12 @@ class ExecutionConfig:
     Execution-style knobs:
 
     * ``batch`` — default for workloads that support batched
-      instruction bursts (individual runs may override per call).
+      instruction bursts (individual runs may override per call),
+    * ``result_cache`` — cache registered-workload outputs keyed on
+      (workload, params, stream version), so repeated identical runs
+      on an unchanged graph are O(1) (``session.invalidate_results()``
+      drops entries explicitly; mutations invalidate by key),
+    * ``result_cache_size`` — LRU bound on cached outputs.
     """
 
     threads: int = 32
@@ -59,6 +64,8 @@ class ExecutionConfig:
     cpu: CpuConfig | None = None
     trace: bool = False
     batch: bool = True
+    result_cache: bool = True
+    result_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
@@ -73,6 +80,8 @@ class ExecutionConfig:
             raise ConfigError(
                 f"policy must be one of {POLICIES}, got {self.policy!r}"
             )
+        if self.result_cache_size <= 0:
+            raise ConfigError("result_cache_size must be positive")
 
     # ------------------------------------------------------------------
 
@@ -108,4 +117,6 @@ class ExecutionConfig:
             "cpu": self.cpu,
             "trace": self.trace,
             "batch": self.batch,
+            "result_cache": self.result_cache,
+            "result_cache_size": self.result_cache_size,
         }

@@ -35,6 +35,7 @@ class RunResult:
     params: dict[str, Any]  # workload parameters echo
     warm: bool  # True when cached structures were reused
     session: "SisaSession"
+    cached: bool = False  # True when served from the result cache
 
     @property
     def runtime_cycles(self) -> float:

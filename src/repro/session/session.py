@@ -30,6 +30,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.digraph import DiGraph, orient_by_order
 from repro.graphs.orientation import DegeneracyResult, degeneracy_order
 from repro.runtime.setgraph import SetGraph
+from repro.session.cache import CacheStats, ResultCache
 from repro.session.config import ExecutionConfig
 from repro.session.registry import WorkloadSpec, get_workload
 from repro.session.result import RunResult
@@ -73,6 +74,9 @@ class SisaSession:
         self._csr_cache: CSRGraph | None = None
         self._csr_version: tuple[int, int] | None = None
         self._stream = None
+        self._orientation_maintainer = None
+        self._digraph_key = None
+        self._results = ResultCache(maxsize=config.result_cache_size)
 
     # ------------------------------------------------------------------
     # Cached derived structures
@@ -144,10 +148,33 @@ class SisaSession:
             self._degeneracy_version = self._version
         return self._degeneracy
 
+    def _orientation_is_current(self) -> bool:
+        """True when the attached orientation maintainer has fully
+        incorporated every stream mutation."""
+        maintainer = self._orientation_maintainer
+        return (
+            maintainer is not None
+            and maintainer.synced_mutations == self._stream.mutations
+        )
+
     @property
     def oriented_setgraph(self) -> SetGraph:
-        """The degeneracy-oriented ``N+`` SetGraph (cached per stream
-        version)."""
+        """The degeneracy-oriented ``N+`` SetGraph.
+
+        With an orientation maintainer attached
+        (:meth:`maintain_orientation`) the maintained sets are returned
+        directly — no re-peel, no rebuild — after any epoch advance
+        that streamed through the maintainer hooks; updates applied
+        outside the hooks trigger a (charged) maintainer resync.
+        Without a maintainer the orientation is rebuilt per stream
+        version, as before.
+        """
+        maintainer = self._orientation_maintainer
+        if maintainer is not None:
+            if not self._orientation_is_current():
+                maintainer.resync()
+            self._oriented_version = self._version
+            return maintainer.oriented
         if self._oriented is None or self._oriented_version != self._version:
             if self._oriented is not None:
                 self._release_setgraph(self._oriented)
@@ -166,6 +193,14 @@ class SisaSession:
 
     @property
     def digraph(self) -> DiGraph:
+        maintainer = self._orientation_maintainer
+        if maintainer is not None:
+            self.oriented_setgraph  # ensure synced
+            key = (self._version, maintainer.revision)
+            if self._digraph is None or self._digraph_key != key:
+                self._digraph = maintainer.export_digraph()
+                self._digraph_key = key
+            return self._digraph
         self.oriented_setgraph  # ensure built
         assert self._digraph is not None
         return self._digraph
@@ -215,6 +250,80 @@ class SisaSession:
         read-only view (copy-on-write)."""
         return self.stream.snapshot()
 
+    def maintain_orientation(self, *, eps: float = 0.5, repair_limit: int = 64):
+        """Keep the session's oriented ``N+`` sets warm across stream
+        epochs.
+
+        Subscribes an
+        :class:`~repro.streaming.orientation.IncrementalOrientation`
+        maintainer to the attached stream: every batch applied through
+        :meth:`DynamicSetGraph.apply_batch` or a
+        :class:`~repro.streaming.engine.StreamingEngine` updates the
+        cached orientation in place (orienting new edges by the current
+        rank, repairing only on drift past ``(2 + eps) * c``), so
+        ``session.run("triangles")`` after an epoch advance reuses the
+        maintained orientation instead of re-peeling.  Returns the
+        maintainer (its ``stats`` record which batches re-peeled).
+        """
+        from repro.streaming.orientation import IncrementalOrientation
+
+        stream = self.stream  # raises ConfigError when none attached
+        existing = self._orientation_maintainer
+        if existing is not None:
+            if (existing.eps, existing.repair_limit) != (eps, repair_limit):
+                raise ConfigError(
+                    "an orientation maintainer with different parameters "
+                    f"(eps={existing.eps}, repair_limit="
+                    f"{existing.repair_limit}) is already attached"
+                )
+            return existing
+        oriented = self.oriented_setgraph  # build at the current version
+        maintainer = IncrementalOrientation(
+            stream,
+            oriented,
+            self.degeneracy,
+            eps=eps,
+            repair_limit=repair_limit,
+        )
+        stream.subscribe(maintainer)
+        self._orientation_maintainer = maintainer
+        return maintainer
+
+    @property
+    def orientation_maintainer(self):
+        """The attached orientation maintainer, or ``None``."""
+        return self._orientation_maintainer
+
+    @property
+    def orientation_stats(self):
+        """The orientation maintainer's
+        :class:`~repro.streaming.orientation.OrientationStats` (raises
+        when no maintainer is attached)."""
+        if self._orientation_maintainer is None:
+            raise ConfigError(
+                "no orientation maintainer; call "
+                "session.maintain_orientation() first"
+            )
+        return self._orientation_maintainer.stats
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss accounting of the session's result cache."""
+        return self._results.stats
+
+    def invalidate_results(self, workload: str | None = None) -> int:
+        """Explicitly drop cached results (all of them, or one
+        workload's).  Returns the number of entries dropped.  Stream
+        mutations invalidate implicitly — the stream version is part of
+        every cache key — so this is only needed when state *outside*
+        the session changed (e.g. a parameter object was mutated in
+        place)."""
+        return self._results.invalidate(workload)
+
     # ------------------------------------------------------------------
     # Running workloads
     # ------------------------------------------------------------------
@@ -226,7 +335,7 @@ class SisaSession:
         undirected_ready = self._setgraph is not None
         oriented_ready = (
             self._oriented is not None and self._oriented_version == self._version
-        )
+        ) or self._orientation_is_current()
         if requires == "undirected":
             return undirected_ready
         if requires == "oriented":
@@ -253,6 +362,11 @@ class SisaSession:
         :class:`GraphSnapshot` (or the live :class:`DynamicSetGraph`)
         instead of the session's static structures.
         """
+        if view is not None:
+            from repro.streaming.graph import ensure_live_view
+
+            ensure_live_view(view)
+        cache_key = None
         if callable(workload):
             if view is not None:
                 raise ConfigError("view runs require a registered workload")
@@ -273,6 +387,29 @@ class SisaSession:
                 raise ConfigError(
                     f"workload {name!r} cannot run against a view"
                 )
+            if self.config.result_cache and view is None:
+                # Registered workloads are deterministic functions of
+                # (name, params, graph state); the stream version keys
+                # the state, so a hit is answered in O(1) — zero
+                # instructions, zero registrations.
+                cache_key = self._results.make_key(name, params, self._version)
+                if cache_key is not None:
+                    hit = self._results.get(cache_key)
+                    if hit is not None:
+                        mark = self.ctx.mark()
+                        self.run_count += 1
+                        return RunResult(
+                            workload=name,
+                            output=hit[0],
+                            report=self.ctx.report_since(mark),
+                            stats=self.ctx.stats_since(mark),
+                            registrations=0,
+                            config=self.config,
+                            params=dict(params),
+                            warm=True,
+                            session=self,
+                            cached=True,
+                        )
             warm = self._is_warm(spec, view, params)
             mark = self.ctx.mark()
             if view is not None:
@@ -290,6 +427,8 @@ class SisaSession:
             warm=warm,
             session=self,
         )
+        if cache_key is not None:
+            self._results.put(cache_key, output)
         self.run_count += 1
         return result
 

@@ -14,6 +14,9 @@ Layers:
 * :mod:`repro.streaming.incremental` — incremental maintainers for
   triangle counts, local clustering coefficients and link-prediction
   scores, plus their full-recompute references.
+* :mod:`repro.streaming.orientation` —
+  :class:`IncrementalOrientation`, degeneracy-orientation maintenance
+  across epochs (oriented workloads stay warm on streams).
 * :mod:`repro.streaming.engine` — :class:`StreamingEngine`, the batch
   orchestrator wiring maintainers to the delete-then-insert protocol.
 
@@ -21,7 +24,11 @@ Edge-stream workloads live in :mod:`repro.graphs.streams`.
 """
 
 from repro.streaming.engine import StepResult, StreamingEngine
-from repro.streaming.graph import DynamicSetGraph, GraphSnapshot
+from repro.streaming.graph import (
+    DynamicSetGraph,
+    GraphSnapshot,
+    ensure_live_view,
+)
 from repro.streaming.incremental import (
     IncrementalClusteringCoefficients,
     IncrementalLinkPrediction,
@@ -31,6 +38,7 @@ from repro.streaming.incremental import (
     local_triangle_counts,
     watchlist_scores,
 )
+from repro.streaming.orientation import IncrementalOrientation, OrientationStats
 
 __all__ = [
     "StepResult",
@@ -39,9 +47,12 @@ __all__ = [
     "GraphSnapshot",
     "IncrementalClusteringCoefficients",
     "IncrementalLinkPrediction",
+    "IncrementalOrientation",
     "IncrementalTriangleCount",
+    "OrientationStats",
     "StreamMaintainer",
     "clustering_coefficients_from_counts",
+    "ensure_live_view",
     "local_triangle_counts",
     "watchlist_scores",
 ]

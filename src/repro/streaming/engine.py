@@ -19,8 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graphs.streams import EdgeBatch, canonical_edges
-from repro.streaming.graph import DynamicSetGraph, touched_vertices
+from repro.graphs.streams import EdgeBatch
+from repro.streaming.graph import DynamicSetGraph, drive_batch
 from repro.streaming.incremental import StreamMaintainer
 
 
@@ -50,23 +50,21 @@ class StreamingEngine:
     def add_maintainer(self, maintainer: StreamMaintainer) -> None:
         self.maintainers.append(maintainer)
 
+    def _hooks(self) -> list[StreamMaintainer]:
+        """Engine-owned maintainers plus the dynamic graph's own
+        subscribers (e.g. a session's orientation maintainer), each
+        notified once per protocol stage."""
+        hooks = list(self.maintainers)
+        for maintainer in self.dynamic.subscribers:
+            if maintainer not in hooks:
+                hooks.append(maintainer)
+        return hooks
+
     def step(self, batch: EdgeBatch) -> StepResult:
         dynamic = self.dynamic
-        n = dynamic.num_vertices
-        deleted = dynamic.apply_deletions(batch.deletions)
-        for maintainer in self.maintainers:
-            maintainer.on_deletions(dynamic, deleted)
-        # Effective insertions are resolved against G1, *before* they
-        # are applied, so the insertion hooks can count on G1.
-        insertions = canonical_edges(batch.insertions, n)
-        effective_insertions = dynamic.absent_edges(insertions)
-        for maintainer in self.maintainers:
-            maintainer.on_insertions(dynamic, effective_insertions)
-        inserted = dynamic.apply_insertions(insertions, canonical=True)
-        touched = touched_vertices(deleted, inserted)
-        for maintainer in self.maintainers:
-            maintainer.on_applied(dynamic, touched)
-        conversions = dynamic.finish_batch(touched)
+        deleted, inserted, touched, conversions = drive_batch(
+            dynamic, self._hooks(), batch
+        )
         return StepResult(
             epoch=dynamic.epoch,
             deleted=deleted,

@@ -25,13 +25,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SisaError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.streams import EdgeBatch, canonical_edges
 from repro.hw.cost import Cost
 from repro.runtime.context import SisaContext
 from repro.runtime.setgraph import SetGraph
 from repro.sets.sparse import WORD_BITS
+
+
+def ensure_live_view(view) -> None:
+    """Reject a released :class:`GraphSnapshot` before any set work.
+
+    A released snapshot's set IDs are freed — and may already be
+    recycled for unrelated sets — so computing over it would silently
+    read garbage.  Shared by ``SisaSession.run(..., view=...)`` and the
+    incremental maintainers.
+    """
+    if getattr(view, "_released", False):
+        raise SisaError(
+            f"snapshot of epoch {view.epoch} has been released; its set "
+            "IDs may have been recycled — capture a fresh snapshot"
+        )
 
 
 class _SetView:
@@ -88,7 +103,10 @@ class GraphSnapshot(_SetView):
     snapshot just registers the current value references under fresh
     set IDs (one SM-entry write each — no set data is touched).  The
     live graph keeps mutating; analytics against the snapshot see the
-    captured epoch until :meth:`release` frees its IDs.
+    captured epoch until :meth:`release` frees its IDs.  Reading a
+    *released* snapshot raises :class:`~repro.errors.SisaError`: its set
+    IDs may already be recycled for unrelated sets, so the computation
+    would silently produce garbage.
     """
 
     def __init__(self, dynamic: "DynamicSetGraph"):
@@ -111,6 +129,30 @@ class GraphSnapshot(_SetView):
         for sid in self._set_ids:
             self.ctx.free(sid)
         self._released = True
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def neighborhood(self, v: int) -> int:
+        ensure_live_view(self)
+        return super().neighborhood(v)
+
+    def degree(self, v: int) -> int:
+        ensure_live_view(self)
+        return super().degree(v)
+
+    def neighborhood_counts(self, u: int, vs) -> np.ndarray:
+        ensure_live_view(self)
+        return super().neighborhood_counts(u, vs)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        ensure_live_view(self)
+        return super().has_edge(u, v)
+
+    def edge_array(self) -> np.ndarray:
+        ensure_live_view(self)
+        return super().edge_array()
 
 
 class DynamicSetGraph(_SetView):
@@ -153,6 +195,13 @@ class DynamicSetGraph(_SetView):
         # on (epoch, mutations) so partially applied batches are never
         # mistaken for the last finished epoch.
         self.mutations = 0
+        # Maintainers subscribed directly to this graph (e.g. a
+        # session's orientation maintainer).  They are driven through
+        # the same delete→observe→insert protocol as engine-owned
+        # maintainers, by apply_batch and by every StreamingEngine
+        # step.  Raw apply_insertions/apply_deletions calls bypass
+        # them — subscribers detect that through ``mutations``.
+        self._subscribers: list = []
 
     @classmethod
     def from_graph(
@@ -256,15 +305,36 @@ class DynamicSetGraph(_SetView):
         self.epoch += 1
         return conversions
 
+    # ------------------------------------------------------------------
+    # Maintainer subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(self, maintainer) -> None:
+        """Register a :class:`StreamMaintainer` hook on the graph
+        itself: it observes every batch applied through
+        :meth:`apply_batch` *or* a :class:`StreamingEngine`, in
+        addition to any engine-owned maintainers."""
+        if maintainer not in self._subscribers:
+            self._subscribers.append(maintainer)
+
+    def unsubscribe(self, maintainer) -> None:
+        self._subscribers.remove(maintainer)
+
+    @property
+    def subscribers(self) -> tuple:
+        return tuple(self._subscribers)
+
     def apply_batch(self, batch: EdgeBatch) -> tuple[np.ndarray, np.ndarray]:
         """Apply one :class:`EdgeBatch` (deletions first, then
         insertions) and finish the epoch.  Returns the effective
-        ``(deleted, inserted)`` edge arrays.  Use
-        :class:`~repro.streaming.engine.StreamingEngine` instead when
-        incremental maintainers must observe the intermediate state."""
-        deleted = self.apply_deletions(batch.deletions)
-        inserted = self.apply_insertions(batch.insertions)
-        self.finish_batch(touched_vertices(deleted, inserted))
+        ``(deleted, inserted)`` edge arrays.  Subscribed maintainers
+        observe the batch through the engine protocol (both counting
+        hooks see the intermediate graph ``G1``); use
+        :class:`~repro.streaming.engine.StreamingEngine` when
+        *additional* per-engine maintainers are involved."""
+        deleted, inserted, __, __ = drive_batch(
+            self, list(self._subscribers), batch
+        )
         return deleted, inserted
 
     def snapshot(self) -> GraphSnapshot:
@@ -278,3 +348,41 @@ def touched_vertices(*edge_arrays: np.ndarray) -> np.ndarray:
     if not parts:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(parts))
+
+
+def drive_batch(
+    dynamic: DynamicSetGraph, hooks, batch: EdgeBatch
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """The single implementation of the per-batch maintainer protocol.
+
+    Shared by :meth:`DynamicSetGraph.apply_batch` (graph subscribers
+    only) and :meth:`StreamingEngine.step` (engine maintainers plus
+    subscribers), so the ordering contract — both counting hooks
+    observe the intermediate graph ``G1``, after deletions and before
+    insertions — is encoded exactly once:
+
+    1. apply the deletion batch → ``G1``,
+    2. ``on_deletions(G1, effective_deletions)`` per hook,
+    3. resolve effective insertions against ``G1``, pre-apply,
+    4. ``on_insertions(G1, effective_insertions)`` per hook,
+    5. apply the insertion batch → ``G2``,
+    6. ``on_applied(G2, touched_vertices)`` per hook,
+    7. re-decide representations for touched vertices, advance the
+       epoch.
+
+    Returns ``(deleted, inserted, touched, conversions)``.
+    """
+    deleted = dynamic.apply_deletions(batch.deletions)
+    for maintainer in hooks:
+        maintainer.on_deletions(dynamic, deleted)
+    insertions = canonical_edges(batch.insertions, dynamic.num_vertices)
+    if hooks:
+        effective = dynamic.absent_edges(insertions)
+        for maintainer in hooks:
+            maintainer.on_insertions(dynamic, effective)
+    inserted = dynamic.apply_insertions(insertions, canonical=True)
+    touched = touched_vertices(deleted, inserted)
+    for maintainer in hooks:
+        maintainer.on_applied(dynamic, touched)
+    conversions = dynamic.finish_batch(touched)
+    return deleted, inserted, touched, conversions

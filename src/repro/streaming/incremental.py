@@ -34,6 +34,7 @@ from repro.algorithms.similarity import (
     similarity_batch_on,
 )
 from repro.runtime.context import SisaContext
+from repro.streaming.graph import ensure_live_view
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +132,7 @@ class IncrementalTriangleCount(StreamMaintainer):
     (no intermediate set is ever materialized)."""
 
     def __init__(self, dynamic, *, count: int | None = None):
+        ensure_live_view(dynamic)
         if count is None:
             count = int(
                 local_triangle_counts(dynamic, dynamic.ctx).sum()
@@ -187,6 +189,7 @@ class IncrementalClusteringCoefficients(StreamMaintainer):
     bursts."""
 
     def __init__(self, dynamic, *, counts: np.ndarray | None = None):
+        ensure_live_view(dynamic)
         if counts is None:
             counts = local_triangle_counts(dynamic, dynamic.ctx)
         self.counts = counts.astype(np.int64, copy=True)
@@ -275,6 +278,7 @@ class IncrementalLinkPrediction(StreamMaintainer):
         measure: str = "jaccard",
         scores: np.ndarray | None = None,
     ):
+        ensure_live_view(dynamic)
         order = np.lexsort((pairs[:, 1], pairs[:, 0]))
         self.pairs = np.asarray(pairs, dtype=np.int64)[order]
         self.measure = measure

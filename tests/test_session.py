@@ -292,9 +292,29 @@ class TestColdSessionIdentity:
 
     def test_shims_warn_deprecation(self):
         from repro.algorithms import triangle_count
+        from repro.algorithms.common import reset_one_shot_warnings
 
-        with pytest.warns(DeprecationWarning, match="SisaSession"):
+        reset_one_shot_warnings()
+        with pytest.warns(DeprecationWarning, match="SisaSession") as records:
             triangle_count(_graph(), threads=4)
+        # The notice points at this test (the shim's caller), not at
+        # the shim module.
+        assert any(r.filename == __file__ for r in records)
+
+    def test_shim_warning_deduplicated_per_entry_point(self):
+        from repro.algorithms import triangle_count
+        from repro.algorithms.common import reset_one_shot_warnings
+
+        reset_one_shot_warnings()
+        graph = _graph()
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            triangle_count(graph, threads=4)
+            triangle_count(graph, threads=4)  # same entry point: silent
+        assert (
+            sum(issubclass(r.category, DeprecationWarning) for r in records)
+            == 1
+        )
 
     def test_run_workload_convenience(self):
         result = run_workload(_graph(), "triangles", config=ExecutionConfig(threads=8))

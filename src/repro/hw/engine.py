@@ -15,6 +15,7 @@ analysis (Fig. 9a) and the stalled-cycle motivation plot (Fig. 1).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -116,6 +117,15 @@ class ExecutionEngine:
         # begin_task O(1) amortized with values identical to a full
         # recompute.
         self._lane_times = [0.0] * threads
+        # Per-tenant attribution (plan executors / session pools): while
+        # a tenant tag is set, every charge is mirrored into that
+        # tenant's shadow lanes, so interleaved multi-plan execution can
+        # still report who consumed which modeled cycles.  Off (None) on
+        # the hot single-run path.
+        self._tenants: dict[object, list[LaneState]] = {}
+        self._tenant_seq: dict[object, float] = {}
+        self._tenant_tag: object | None = None
+        self._tenant_lanes: list[LaneState] | None = None
 
     # -- task scheduling ---------------------------------------------------
 
@@ -127,15 +137,46 @@ class ExecutionEngine:
         times[current] = self._lanes[current].time(self.bytes_per_cycle)
         self._current = current = times.index(min(times))
         self._lanes[current].tasks += 1
+        if self._tenant_lanes is not None:
+            self._tenant_lanes[current].tasks += 1
         return current
+
+    @contextmanager
+    def on_lane(self, lane: int):
+        """Temporarily make ``lane`` the charging target.
+
+        Used by the fused cross-task burst path: a constituent burst's
+        ops must land on the lane its task was placed on at unit
+        creation, even though other plans' tasks have moved the current
+        lane since.  Both the outgoing and the pinned lane's cached
+        times are refreshed, preserving the begin_task invariant that
+        only the current lane's cached time can be stale.
+        """
+        bpc = self.bytes_per_cycle
+        times = self._lane_times
+        prev = self._current
+        times[prev] = self._lanes[prev].time(bpc)
+        self._current = lane
+        try:
+            yield lane
+        finally:
+            times[lane] = self._lanes[lane].time(bpc)
+            self._current = prev
 
     def charge(self, cost: Cost) -> None:
         """Charge a cost to the current task's lane."""
         self._lanes[self._current].charge(cost)
+        if self._tenant_lanes is not None:
+            self._tenant_lanes[self._current].charge(cost)
 
     def charge_sequential(self, cost: Cost) -> None:
         """Charge a cost that cannot be parallelized (setup, reductions)."""
-        self._sequential_overhead += cost.cycles(self.bytes_per_cycle)
+        cycles = cost.cycles(self.bytes_per_cycle)
+        self._sequential_overhead += cycles
+        if self._tenant_tag is not None:
+            self._tenant_seq[self._tenant_tag] = (
+                self._tenant_seq.get(self._tenant_tag, 0.0) + cycles
+            )
 
     def charge_batch(
         self,
@@ -163,6 +204,62 @@ class ExecutionEngine:
         for x in latency:
             acc += x
         lane.latency_cycles = acc
+        if self._tenant_lanes is not None:
+            shadow = self._tenant_lanes[self._current]
+            acc = shadow.compute_cycles
+            for x in compute:
+                acc += x
+            shadow.compute_cycles = acc
+            acc = shadow.memory_bytes
+            for x in memory:
+                acc += x
+            shadow.memory_bytes = acc
+            acc = shadow.latency_cycles
+            for x in latency:
+                acc += x
+            shadow.latency_cycles = acc
+
+    # -- per-tenant attribution --------------------------------------------
+
+    def set_tenant(self, tag: object | None) -> None:
+        """Mirror subsequent charges into ``tag``'s shadow lanes (pass
+        ``None`` to stop attributing)."""
+        if tag is None:
+            self._tenant_tag = None
+            self._tenant_lanes = None
+            return
+        lanes = self._tenants.get(tag)
+        if lanes is None:
+            lanes = self._tenants[tag] = [
+                LaneState() for _ in range(self.threads)
+            ]
+        self._tenant_tag = tag
+        self._tenant_lanes = lanes
+
+    def tenant_report(self, tag: object) -> EngineReport:
+        """The engine report of one tenant's attributed charges (zeros
+        for an unknown tenant)."""
+        lanes = self._tenants.get(tag)
+        if lanes is None:
+            lanes = [LaneState() for _ in range(self.threads)]
+        lane_times = [lane.time(self.bytes_per_cycle) for lane in lanes]
+        lane_memory = [lane.memory_time(self.bytes_per_cycle) for lane in lanes]
+        sequential = self._tenant_seq.get(tag, 0.0)
+        runtime = (max(lane_times) if lane_times else 0.0) + sequential
+        return EngineReport(
+            runtime_cycles=runtime,
+            lane_times=lane_times,
+            lane_memory_times=lane_memory,
+            tasks=sum(lane.tasks for lane in lanes),
+        )
+
+    def drop_tenant(self, tag: object) -> None:
+        """Forget one tenant's attributed charges."""
+        self._tenants.pop(tag, None)
+        self._tenant_seq.pop(tag, None)
+        if self._tenant_tag == tag:
+            self._tenant_tag = None
+            self._tenant_lanes = None
 
     # -- run marks -----------------------------------------------------------
 

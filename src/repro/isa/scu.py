@@ -41,6 +41,7 @@ class DispatchStats:
     host_ops: int = 0
     merge_picks: int = 0
     gallop_picks: int = 0
+    fused_macros: int = 0  # cross-task fused count-burst macros issued
     by_opcode: dict[Opcode, int] = field(default_factory=dict)
 
     def record(self, opcode: Opcode) -> None:
@@ -56,6 +57,7 @@ class DispatchStats:
             host_ops=self.host_ops,
             merge_picks=self.merge_picks,
             gallop_picks=self.gallop_picks,
+            fused_macros=self.fused_macros,
             by_opcode=dict(self.by_opcode),
         )
 
@@ -73,8 +75,22 @@ class DispatchStats:
             host_ops=self.host_ops - mark.host_ops,
             merge_picks=self.merge_picks - mark.merge_picks,
             gallop_picks=self.gallop_picks - mark.gallop_picks,
+            fused_macros=self.fused_macros - mark.fused_macros,
             by_opcode=by_opcode,
         )
+
+    def add(self, other: "DispatchStats") -> None:
+        """Accumulate another delta in place (per-plan attribution of a
+        fused batch, where one plan's work arrives in many slices)."""
+        self.instructions += other.instructions
+        self.pum_ops += other.pum_ops
+        self.pnm_ops += other.pnm_ops
+        self.host_ops += other.host_ops
+        self.merge_picks += other.merge_picks
+        self.gallop_picks += other.gallop_picks
+        self.fused_macros += other.fused_macros
+        for opcode, count in other.by_opcode.items():
+            self.by_opcode[opcode] = self.by_opcode.get(opcode, 0) + count
 
 
 @dataclass(frozen=True)
@@ -119,6 +135,7 @@ class Scu:
         cpu: CpuConfig | None = None,
         gallop_threshold: float | None = None,
         smb_enabled: bool = True,
+        decision_memo: dict | None = None,
     ):
         self.hw = hw
         self.host_fallback = host_fallback
@@ -136,7 +153,13 @@ class Scu:
         # output size, so long large-graph runs would otherwise grow
         # the table without bound; past the cap, shapes are simply
         # recomputed, which yields the same values.
-        self._decision_memo: dict[tuple, tuple] = {}
+        # A SessionPool passes a shared ``decision_memo`` so every
+        # session over the same hardware/mode shares one table: the
+        # memoized values are pure functions of the operand shapes and
+        # the fixed configs, so sharing changes nothing but Python time.
+        self._decision_memo: dict[tuple, tuple] = (
+            {} if decision_memo is None else decision_memo
+        )
 
     _MEMO_LIMIT = 1 << 16
 
@@ -356,6 +379,86 @@ class Scu:
             memory.append(cost.memory_bytes)
             latency.append(lat + cost.latency_cycles)
         stats.instructions += len(opcodes)
+        return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
+
+    def dispatch_binary_fused(
+        self,
+        op: SetOp,
+        a: SetMeta,
+        bs: list[SetMeta],
+        *,
+        count_only: bool = True,
+        include_decode: bool = False,
+    ) -> BatchDispatch:
+        """One constituent burst of a *fused* cross-task count macro.
+
+        A plan executor fuses compatible count-form frontier bursts from
+        different workload plans into one macro instruction: the SCU
+        decodes the macro once and each constituent burst names its
+        probe operand once, instead of re-dispatching and re-fetching
+        the probe metadata per op as the unfused stream does.  Charging
+        rule (the explicit lane-placement model of cross-task fusion):
+
+        * the macro decode (``scu_dispatch_cycles``) is paid once, by
+          the constituent with ``include_decode=True`` (the executor
+          sets it on the first burst of each macro) — it lands on that
+          burst's lane;
+        * each constituent pays its probe operand's SMB-cached metadata
+          lookup once, on its own lane;
+        * each op pays only its frontier operand's metadata lookup plus
+          the variant model cost — decided and costed by the very same
+          memoized :meth:`_decide` the sequential stream uses, so the
+          per-op *work* is unchanged; only the per-op dispatch/metadata
+          overhead is elided by the macro encoding.
+
+        Per-op stats and opcodes are recorded exactly like the unfused
+        burst (a fused macro is the same logical instruction stream);
+        ``stats.fused_macros`` counts the macros.  Not offered in
+        ``host_fallback`` mode — the host baseline has no SCU to fuse
+        dispatches in, so plan executors fall back to the unfused
+        batched stream there.
+        """
+        if self.host_fallback:
+            raise IsaError("fused dispatch requires the SCU (sisa mode)")
+        hw = self.hw
+        access = self.smb.access
+        stats = self.stats
+        by_opcode = stats.by_opcode
+        decide = self._decide
+        hit_c = hw.sm_hit_cycles
+        miss_c = hw.pnm_random_access_cycles
+        comp0 = hw.scu_dispatch_cycles if include_decode else 0.0
+        lat0 = 0.0
+        if access(a.set_id):
+            comp0 += hit_c
+        else:
+            lat0 += miss_c
+        opcodes: list[Opcode] = []
+        backends: list[str] = []
+        variants: list[str] = []
+        compute: list[float] = []
+        memory: list[float] = []
+        latency: list[float] = []
+        for b in bs:
+            comp = comp0
+            lat = lat0
+            comp0 = 0.0
+            lat0 = 0.0
+            if access(b.set_id):
+                comp += hit_c
+            else:
+                lat += miss_c
+            opcode, backend, variant, cost = decide(op, a, b, 0, count_only)
+            by_opcode[opcode] = by_opcode.get(opcode, 0) + 1
+            opcodes.append(opcode)
+            backends.append(backend)
+            variants.append(variant)
+            compute.append(comp + cost.compute_cycles)
+            memory.append(cost.memory_bytes)
+            latency.append(lat + cost.latency_cycles)
+        stats.instructions += len(opcodes)
+        if include_decode:
+            stats.fused_macros += 1
         return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
 
     def _dispatch_dense_pair(

@@ -158,6 +158,67 @@ def intersect_values(a: VertexSet, values: Sequence[VertexSet]) -> list[VertexSe
     return results  # type: ignore[return-value]
 
 
+def union_values(a: VertexSet, values: Sequence[VertexSet]) -> list[VertexSet]:
+    """Materializing batched union ``A ∪ B_i`` for every ``B_i``.
+
+    All-sparse frontiers run as one flat probe pass (which elements of
+    each ``B_i`` are new w.r.t. ``A``) followed by a per-segment
+    disjoint merge with ``A``'s sorted array — representation for
+    representation the same results as :func:`repro.sets.kernels.union`
+    per pair; dense operands fall back to the pairwise kernels (their
+    results stay dense).
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    universe = a.universe
+    results: list[VertexSet | None] = [None] * n
+    sa_idx: list[int] = []
+    sa_arrays: list[np.ndarray] = []
+    boundaries = [0]
+    total = 0
+    for i, v in enumerate(values):
+        if v.universe != universe:
+            raise SetError(f"universe mismatch: {universe} vs {v.universe}")
+        if type(v) is SparseArray and type(a) is SparseArray:
+            arr = v.elements if v.is_sorted else v.to_array()
+            total += arr.size
+            boundaries.append(total)
+            sa_idx.append(i)
+            sa_arrays.append(arr)
+        else:
+            results[i] = kernels.union(a, v)
+    if sa_idx:
+        arr_a = a.to_array()
+        flat = np.concatenate(sa_arrays)
+        offsets = np.asarray(boundaries)
+        mask = kernels._probe_sorted(arr_a, flat)
+        for j, i in enumerate(sa_idx):
+            seg = flat[offsets[j]:offsets[j + 1]]
+            new = seg[~mask[offsets[j]:offsets[j + 1]]]
+            results[i] = SparseArray.from_sorted(
+                kernels._merge_sorted_disjoint(arr_a, new), universe
+            )
+    return results  # type: ignore[return-value]
+
+
+def difference_values(a: VertexSet, values: Sequence[VertexSet]) -> list[VertexSet]:
+    """Materializing batched difference ``A \\ B_i`` for every ``B_i``.
+
+    The probe direction is per-operand (``A``'s elements against each
+    ``B_i``), so there is no shared flat pass; the batch amortizes the
+    dispatch/metadata phase while each result comes from the same
+    pairwise kernel the scalar stream runs.
+    """
+    results: list[VertexSet] = []
+    universe = a.universe
+    for v in values:
+        if v.universe != universe:
+            raise SetError(f"universe mismatch: {universe} vs {v.universe}")
+        results.append(kernels.difference(a, v))
+    return results
+
+
 def derive_counts(
     op_kind: str,
     a_cardinality: int,

@@ -66,6 +66,7 @@ class SisaContext:
         gallop_threshold: float | None = None,
         smb_enabled: bool = True,
         trace: bool = False,
+        decision_memo: dict | None = None,
     ):
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
@@ -79,6 +80,7 @@ class SisaContext:
             cpu=self.cpu,
             gallop_threshold=gallop_threshold,
             smb_enabled=smb_enabled,
+            decision_memo=decision_memo,
         )
         self.sm = SetMetadataTable()
         self.trace = Trace(enabled=trace)
@@ -109,6 +111,19 @@ class SisaContext:
     @contextmanager
     def task(self) -> Iterator[int]:
         yield self.begin_task()
+
+    @contextmanager
+    def on_lane(self, lane: int) -> Iterator[int]:
+        """Pin charging to an already-placed task's lane (fused burst
+        execution: ops of a deferred unit must land where its
+        ``begin_task`` placed it)."""
+        prev = self._current_lane
+        with self.engine.on_lane(lane):
+            self._current_lane = lane
+            try:
+                yield lane
+            finally:
+                self._current_lane = prev
 
     # ------------------------------------------------------------------
     # Set lifecycle
@@ -322,16 +337,25 @@ class SisaContext:
         SMB behaviour are identical to issuing the ``intersect`` ops
         sequentially (results are registered after the dispatch phase,
         which charges nothing and touches no modeled state)."""
+        return self._materialize_batch(
+            SetOp.INTERSECT, a, batchmod.intersect_values, bs
+        )
+
+    def _materialize_batch(self, op: SetOp, a: int, values_fn, bs) -> list[int]:
+        """Shared implementation of the materializing batched fan-outs:
+        results from one functional batch kernel, one amortized dispatch
+        whose per-op costs/stats/SMB trajectory — and thus simulated
+        cycles — are identical to the sequential per-op stream."""
         if not len(bs):
             return []
         sm = self.sm
         va = sm.value(a)
         values = sm.values_of(bs)
         metas = sm.metas_of(bs)
-        results = batchmod.intersect_values(va, values)
+        results = values_fn(va, values)
         output_sizes = [r.cardinality for r in results]
         bd = self.scu.dispatch_binary_batch(
-            SetOp.INTERSECT,
+            op,
             sm.meta(a),
             metas,
             output_sizes=output_sizes,
@@ -356,6 +380,20 @@ class SisaContext:
         register = sm.register
         return [register(r) for r in results]
 
+    def union_batch(self, a: int, bs) -> list[int]:
+        """Materializing batched union ``A ∪ B_i`` over a frontier:
+        one new set id per operand, cycle-identical to the sequential
+        ``union`` stream (same dispatch path as :meth:`intersect_batch`)."""
+        return self._materialize_batch(SetOp.UNION, a, batchmod.union_values, bs)
+
+    def difference_batch(self, a: int, bs) -> list[int]:
+        """Materializing batched difference ``A \\ B_i`` over a
+        frontier, cycle-identical to the sequential ``difference``
+        stream."""
+        return self._materialize_batch(
+            SetOp.DIFFERENCE, a, batchmod.difference_values, bs
+        )
+
     def intersect_count_batch(self, a: int, bs) -> np.ndarray:
         """``|A ∩ B_i|`` for every set id in ``bs`` (one batched
         instruction burst; no result sets are materialized)."""
@@ -368,6 +406,60 @@ class SisaContext:
     def difference_count_batch(self, a: int, bs) -> np.ndarray:
         """``|A \\ B_i|`` for every set id in ``bs``."""
         return self._count_batch(SetOp.DIFFERENCE_COUNT, "difference", a, bs)
+
+    _FUSED_OPS = {
+        "intersect": SetOp.INTERSECT_COUNT,
+        "union": SetOp.UNION_COUNT,
+        "difference": SetOp.DIFFERENCE_COUNT,
+    }
+
+    def fused_count_burst(
+        self, a: int, bs, *, kind: str = "intersect", include_decode: bool = False
+    ) -> np.ndarray:
+        """One constituent burst of a fused cross-task count macro.
+
+        Functionally identical to the ``*_count_batch`` fan-outs;
+        charged to the *current* lane under the fused-dispatch rule of
+        :meth:`repro.isa.scu.Scu.dispatch_binary_fused` (one macro
+        decode per fused group, one probe-metadata lookup per
+        constituent).  Plan executors wrap each constituent in
+        :meth:`on_lane` so the charges land on the lane the unit's task
+        was placed on.
+        """
+        op = self._FUSED_OPS[kind]
+        sm = self.sm
+        n = len(bs)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        va = sm.value(a)
+        values = sm.values_of(bs)
+        metas = sm.metas_of(bs)
+        inter = batchmod.intersect_counts(va, values)
+        if kind == "intersect":
+            counts = inter
+        else:
+            cards = np.fromiter((m.cardinality for m in metas), np.int64, n)
+            counts = batchmod.derive_counts(kind, va.cardinality, cards, inter)
+        bd = self.scu.dispatch_binary_fused(
+            op, sm.meta(a), metas, count_only=True, include_decode=include_decode
+        )
+        self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if self.trace.enabled:
+            size_a = va.cardinality
+            lane = self._current_lane
+            for i, meta in enumerate(metas):
+                self.trace.record(
+                    TraceEvent(
+                        opcode=bd.opcodes[i],
+                        lane=lane,
+                        size_a=size_a,
+                        size_b=meta.cardinality,
+                        output_size=int(counts[i]),
+                        backend=bd.backends[i],
+                        variant=bd.variants[i],
+                    )
+                )
+        return counts
 
     def intersect_many(self, *set_ids: int) -> int:
         """CISC-style multi-set intersection ``A1 ∩ ... ∩ Al`` in one

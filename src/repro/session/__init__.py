@@ -18,6 +18,13 @@ The built-in workload definitions live in
 
 from repro.session.cache import CacheStats, ResultCache
 from repro.session.config import ExecutionConfig
+from repro.session.plan import (
+    BurstUnit,
+    PlanExecutor,
+    PlanStage,
+    WorkloadPlan,
+)
+from repro.session.pool import SessionPool
 from repro.session.registry import (
     WorkloadSpec,
     available_workloads,
@@ -28,11 +35,16 @@ from repro.session.result import RunResult
 from repro.session.session import SisaSession, run_workload
 
 __all__ = [
+    "BurstUnit",
     "CacheStats",
     "ExecutionConfig",
+    "PlanExecutor",
+    "PlanStage",
     "ResultCache",
     "RunResult",
+    "SessionPool",
     "SisaSession",
+    "WorkloadPlan",
     "WorkloadSpec",
     "available_workloads",
     "get_workload",

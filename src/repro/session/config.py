@@ -89,8 +89,13 @@ class ExecutionConfig:
         """A copy with some knobs changed (validation re-runs)."""
         return dataclasses.replace(self, **changes)
 
-    def make_context(self):
-        """Build a fresh simulated machine from the machine knobs."""
+    def make_context(self, *, decision_memo: dict | None = None):
+        """Build a fresh simulated machine from the machine knobs.
+
+        ``decision_memo`` optionally injects a shared SCU decision
+        table (session pools share one per machine signature; the
+        memoized values are pure functions of operand shapes and these
+        frozen configs, so sharing is bit-identical)."""
         from repro.runtime.context import SisaContext
 
         return SisaContext(
@@ -101,6 +106,20 @@ class ExecutionConfig:
             gallop_threshold=self.gallop_threshold,
             smb_enabled=self.smb_enabled,
             trace=self.trace,
+            decision_memo=decision_memo,
+        )
+
+    def memo_signature(self) -> tuple:
+        """The machine signature under which SCU decision tables may be
+        shared: two configs with equal signatures produce bit-identical
+        variant decisions and model costs for every operand shape."""
+        from repro.hw.config import CpuConfig, HardwareConfig
+
+        return (
+            self.mode,
+            self.hw or HardwareConfig(),
+            self.cpu or CpuConfig(),
+            self.gallop_threshold,
         )
 
     def describe(self) -> dict[str, Any]:

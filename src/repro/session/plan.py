@@ -1,0 +1,614 @@
+"""Compiled workload plans and the cross-plan fusing executor.
+
+``session.run`` used to execute each workload eagerly and in
+isolation; nothing in the API could see that a *batch* of queries was
+about to run.  The plan/execute split introduces that visibility:
+
+* :meth:`SisaSession.compile` returns a :class:`WorkloadPlan` — a
+  declarative sequence of :class:`PlanStage` records naming the cached
+  structures the workload reads (undirected SetGraph, orientation,
+  degeneracy order) and, for the count-form workloads, exposing the
+  per-task frontier bursts as schedulable :class:`BurstUnit` streams.
+  A plan pins the session's stream version at compile time and fails
+  fast (:class:`~repro.errors.SisaError`) if the stream drifted before
+  execution.
+* :class:`PlanExecutor` runs a batch of plans over one session.  With
+  ``fuse=False`` it executes the plans strictly in order, issuing an
+  instruction stream bit-identical to sequential ``session.run`` calls
+  (outputs, simulated cycles, dispatch stats — asserted in tests and
+  benchmarks).  With ``fuse=True`` it additionally
+
+  - shares prep once per graph (the first plan needing a cached
+    structure builds it; all others find it built),
+  - dedups identical sub-requests through the session's epoch-keyed
+    result cache *before any instruction issues* (a plan or plan stage
+    whose ``(workload, params, version)`` key another plan in the
+    batch owns simply waits and reuses the value), and
+  - fuses compatible count-form frontier bursts from *different* plans
+    into shared macro dispatches
+    (:meth:`~repro.runtime.context.SisaContext.fused_count_burst`) —
+    the first crossing of the ``begin_task`` boundary.
+
+Fusion lane-placement rule (the explicit contract the ROADMAP's
+"cross-task batching" item asked for): every constituent burst still
+opens its own task at unit-creation time and its per-op model costs
+land on that task's lane, exactly as unfused; what the macro elides is
+the per-op SCU decode and the per-op probe-metadata fetch — the macro
+decode is charged once, to the lane (and tenant) of the macro's first
+constituent, and each constituent's probe lookup once, to its own
+lane.  Burst fusion is an SCU capability: on the ``cpu-set`` host
+baseline the executor falls back to the unfused batched stream
+(prep sharing and dedup still apply).
+
+Per-plan accounting under fusion uses the engine's per-tenant marks
+(:meth:`~repro.hw.engine.ExecutionEngine.set_tenant`): every execution
+slice is attributed to its owning plan, so each
+:class:`~repro.session.result.RunResult` still reports its own cycles,
+instruction stats and registrations even though the instruction
+streams interleave.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, SisaError
+from repro.session.cache import canonical_param, isolate_output
+from repro.session.registry import WorkloadSpec, get_workload
+from repro.session.result import RunResult
+
+BURST_KINDS = ("intersect", "union", "difference")
+
+
+@dataclass
+class BurstUnit:
+    """One schedulable count-form frontier burst (one task's worth).
+
+    Produced lazily by a burst stage's generator, which has already
+    opened the unit's task (``lane``) and paid any charged pre-work
+    (e.g. the neighborhood iterator).  The executor runs the burst —
+    unfused via ``*_count_batch`` or as a fused-macro constituent — and
+    hands the counts to ``sink``, which performs the remaining charged
+    work of the task (e.g. cardinality fetches) and folds the counts
+    into the stage state.
+    """
+
+    a: int
+    bs: list
+    kind: str  # one of BURST_KINDS
+    lane: int
+    sink: Callable[[np.ndarray], None]
+
+
+@dataclass
+class PlanStage:
+    """One declarative step of a compiled plan.
+
+    ``kind="call"`` stages run ``run(session, state)`` as one opaque
+    slice (prep builds, finalization math, non-decomposable kernels).
+    ``kind="bursts"`` stages expose their work as a :class:`BurstUnit`
+    generator; ``result(state)`` extracts the stage value once every
+    unit's sink has run, and ``seed(state, value)`` installs a deduped
+    value instead of executing (``key`` names the sub-request the stage
+    computes — shared between plans, e.g. the triangle count inside
+    ``clustering_coefficient``).
+
+    Burst-generator contract: producing a unit may open its task and
+    charge engine costs (``begin_task``, the neighborhood iterator) but
+    must not dispatch SISA instructions or register sets — those belong
+    in the burst itself and its ``sink``, whose execution the fused
+    scheduler defers (generation may run ahead of earlier units'
+    sinks, so it must not depend on their effects either).
+    """
+
+    kind: str
+    label: str
+    reads: tuple[str, ...] = ()  # cached structures the stage touches
+    key: tuple | None = None  # (workload, canonical params); version appended
+    run: Callable[[Any, dict], Any] | None = None
+    units: Callable[[Any, dict], Iterator[BurstUnit]] | None = None
+    result: Callable[[dict], Any] | None = None
+    seed: Callable[[dict, Any], None] | None = None
+
+
+def subrequest_key(name: str, params: dict) -> tuple | None:
+    """The version-less dedup key of a sub-request (``None`` when the
+    parameters cannot be canonicalized safely)."""
+    canon = canonical_param(params)
+    if canon is None:
+        return None
+    return (name, canon)
+
+
+class WorkloadPlan:
+    """A compiled, executable description of one workload run.
+
+    Compilation is declarative — no instructions issue, no structures
+    build — and pins the session's stream version: executing a plan
+    after the stream advanced raises :class:`SisaError` (recompile at
+    the new version instead of silently mixing epochs).
+    """
+
+    def __init__(
+        self,
+        session,
+        spec: WorkloadSpec,
+        params: dict,
+        stages: list[PlanStage],
+        *,
+        tenant: str | None = None,
+    ):
+        self.session = session
+        self.spec = spec
+        self.name = spec.name
+        self.params = params
+        # Cache/dedup keys use the spec-normalized parameters (e.g.
+        # ``batch=None`` resolved against the session config), so every
+        # spelling of the same request — eager run, plan, or another
+        # plan's sub-request — shares one key.
+        self.cache_params = (
+            spec.normalize(session, params) if spec.normalize else params
+        )
+        self.stages = stages
+        self.version = session._version
+        self.requires = spec.requires_for(params)
+        self.tenant = tenant
+        self.fusable = any(stage.kind == "bursts" for stage in stages)
+
+    @property
+    def stale(self) -> bool:
+        """True when the session's stream advanced past the pinned
+        version."""
+        return self.session._version != self.version
+
+    def check_version(self) -> None:
+        if self.stale:
+            raise SisaError(
+                f"plan for {self.name!r} was compiled at stream version "
+                f"{self.version} but the session is at "
+                f"{self.session._version}; recompile the plan"
+            )
+
+    def describe(self) -> list[str]:
+        """The stage labels, in execution order (for logging/tests)."""
+        return [stage.label for stage in self.stages]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"WorkloadPlan({self.name!r}, stages={self.describe()}, "
+            f"version={self.version}, requires={self.requires!r})"
+        )
+
+
+_ACCEPTED_PARAMS: dict[Callable, frozenset | None] = {}
+
+
+def _accepted_params(spec: WorkloadSpec) -> frozenset | None:
+    """The keyword parameters ``spec.fn`` accepts (``None`` when the fn
+    takes ``**kwargs``), memoized per function."""
+    import inspect
+
+    cached = _ACCEPTED_PARAMS.get(spec.fn, False)
+    if cached is not False:
+        return cached
+    names = []
+    accepts_any = False
+    for i, p in enumerate(inspect.signature(spec.fn).parameters.values()):
+        if p.kind is inspect.Parameter.VAR_KEYWORD:
+            accepts_any = True
+        elif i > 0:  # skip the leading session argument
+            names.append(p.name)
+    result = None if accepts_any else frozenset(names)
+    _ACCEPTED_PARAMS[spec.fn] = result
+    return result
+
+
+def compile_plan(
+    session, workload: str, params: dict, *, tenant: str | None = None
+) -> WorkloadPlan:
+    """Compile one registered workload into a :class:`WorkloadPlan`."""
+    if not isinstance(workload, str):
+        raise ConfigError("plans compile registered workloads by name")
+    if "view" in params:
+        raise ConfigError(
+            "view runs are not plannable; use session.run(..., view=...)"
+        )
+    spec = get_workload(workload)
+    # A decomposed plan never calls spec.fn, so a misspelled parameter
+    # the eager path would have rejected with TypeError must be caught
+    # here — silently ignoring it would return a wrong result (e.g. a
+    # typo'd ``measur=`` scoring the default measure).
+    accepted = _accepted_params(spec)
+    if accepted is not None:
+        unknown = set(params) - accepted
+        if unknown:
+            raise ConfigError(
+                f"workload {spec.name!r} got unexpected parameter(s) "
+                f"{sorted(unknown)}; accepted: {sorted(accepted)}"
+            )
+    stages = spec.stages(session, dict(params)) if spec.stages else None
+    if stages is None:
+        # Opaque fallback: the whole kernel runs as one call stage —
+        # not burst-fusable, but still schedulable and whole-plan
+        # dedupable.
+        def run(sess, state, *, _spec=spec, _params=params):
+            return _spec.fn(sess, **_params)
+
+        stages = [
+            PlanStage(
+                kind="call",
+                label=f"run:{spec.name}",
+                reads=(spec.requires_for(params),),
+                run=run,
+            )
+        ]
+    return WorkloadPlan(session, spec, dict(params), stages, tenant=tenant)
+
+
+class _PlanRun:
+    """Execution-time state of one plan inside a fused batch."""
+
+    def __init__(self, plan: WorkloadPlan, tag: object):
+        self.plan = plan
+        self.tag = tag
+        self.state: dict = {}
+        self.stage_idx = 0
+        self.value: Any = None
+        self.started = False
+        self.finished = False
+        self.warm = False
+        self.cached = False
+        self.output: Any = None
+        self.cache_key: tuple | None = None
+        self.owns_key = False
+        self.gen: Iterator[BurstUnit] | None = None
+        self.stats = None  # DispatchStats accumulator (set on start)
+        self.registrations = 0
+
+
+class PlanExecutor:
+    """Executes a batch of compiled plans over one session.
+
+    ``fuse=False`` is the reference mode: plans run strictly in batch
+    order and each :class:`RunResult` is bit-identical to the one a
+    sequential ``session.run`` call would have produced (``session.run``
+    itself is a one-plan wrapper over this mode).  ``fuse=True`` enables
+    shared prep, result-cache sub-request dedup and cross-plan burst
+    fusion; ``fuse_width`` bounds how many buffered units one fused
+    macro may carry.
+    """
+
+    def __init__(self, session, *, fuse: bool = True, fuse_width: int = 8):
+        if fuse_width < 1:
+            raise ConfigError("fuse_width must be positive")
+        self.session = session
+        self.fuse = fuse
+        self.fuse_width = fuse_width
+        # Burst fusion needs the SCU; the host baseline executes the
+        # unfused batched stream (dedup/prep sharing still apply).
+        self._fuse_bursts = fuse and session.ctx.mode == "sisa"
+        self._done: dict[tuple, Any] = {}
+        self._owners: dict[tuple, _PlanRun] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plans: list[WorkloadPlan]) -> list[RunResult]:
+        session = self.session
+        for plan in plans:
+            if plan.session is not session:
+                raise ConfigError(
+                    "plan belongs to a different session; route cross-graph "
+                    "batches through a SessionPool"
+                )
+            plan.check_version()
+        if not self.fuse:
+            return [self._execute_sequential(plan) for plan in plans]
+        return self._execute_fused(plans)
+
+    # ------------------------------------------------------------------
+    # Sequential (reference) mode
+    # ------------------------------------------------------------------
+
+    def _execute_sequential(self, plan: WorkloadPlan) -> RunResult:
+        """Run one plan exactly as the eager ``session.run`` did:
+        result-cache consult, warm probe, one engine mark bracketing
+        the stage stream (which reproduces the eager instruction stream
+        op for op)."""
+        session = self.session
+        ctx = session.ctx
+        cache_key = None
+        if session.config.result_cache:
+            cache_key = session._results.make_key(
+                plan.name, plan.cache_params, plan.version
+            )
+            if cache_key is not None:
+                hit = session._results.get(cache_key)
+                if hit is not None:
+                    mark = ctx.mark()
+                    session.run_count += 1
+                    return RunResult(
+                        workload=plan.name,
+                        output=hit[0],
+                        report=ctx.report_since(mark),
+                        stats=ctx.stats_since(mark),
+                        registrations=0,
+                        config=session.config,
+                        params=dict(plan.params),
+                        warm=True,
+                        session=session,
+                        cached=True,
+                    )
+        warm = session._is_warm(plan.spec, None, plan.params)
+        mark = ctx.mark()
+        state: dict = {}
+        value: Any = None
+        for stage in plan.stages:
+            if stage.kind == "call":
+                value = stage.run(session, state)
+            else:
+                for unit in stage.units(session, state):
+                    counts = getattr(ctx, f"{unit.kind}_count_batch")(
+                        unit.a, unit.bs
+                    )
+                    unit.sink(counts)
+                value = stage.result(state)
+        result = RunResult(
+            workload=plan.name,
+            output=value,
+            report=ctx.report_since(mark),
+            stats=ctx.stats_since(mark),
+            registrations=ctx.registrations_since(mark),
+            config=session.config,
+            params=dict(plan.params),
+            warm=warm,
+            session=session,
+        )
+        if cache_key is not None:
+            session._results.put(cache_key, value)
+        session.run_count += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Fused mode
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _slice(self, run: _PlanRun):
+        """Attribute one execution slice (charges, stats, set
+        registrations) to ``run``'s plan."""
+        ctx = self.session.ctx
+        ctx.engine.set_tenant(run.tag)
+        stats_mark = ctx.scu.stats.snapshot()
+        reg_mark = ctx.sm.registrations
+        try:
+            yield
+        finally:
+            ctx.engine.set_tenant(None)
+            run.stats.add(ctx.scu.stats.since(stats_mark))
+            run.registrations += ctx.sm.registrations - reg_mark
+
+    @contextmanager
+    def _attribute(self, run: _PlanRun):
+        """Cycle-only attribution for slices that cannot dispatch SISA
+        instructions — the per-unit generator pulls (``begin_task`` +
+        neighborhood iterator charge the engine but record no stats and
+        register no sets), where a full stats snapshot per vertex would
+        dominate the fused path's Python time."""
+        engine = self.session.ctx.engine
+        engine.set_tenant(run.tag)
+        try:
+            yield
+        finally:
+            engine.set_tenant(None)
+
+    def _execute_fused(self, plans: list[WorkloadPlan]) -> list[RunResult]:
+        from repro.isa.scu import DispatchStats
+
+        session = self.session
+        runs = []
+        for i, plan in enumerate(plans):
+            tag = ("plan", i, plan.name)
+            run = _PlanRun(plan, tag)
+            run.stats = DispatchStats()
+            runs.append(run)
+        buffer: list[tuple[BurstUnit, _PlanRun]] = []
+        engine = session.ctx.engine
+        try:
+            pending = list(runs)
+            while pending:
+                progressed = False
+                still = []
+                for run in pending:
+                    progressed |= self._advance(run, buffer)
+                    if not run.finished:
+                        still.append(run)
+                pending = still
+                if pending and not progressed:
+                    # Every remaining run waits on a key whose owner sits
+                    # in the buffer: drain it so owners can publish.
+                    if buffer:
+                        self._flush(buffer)
+                    else:  # pragma: no cover - ownership chains are acyclic
+                        raise SisaError("plan batch deadlocked on dedup keys")
+            self._flush(buffer)
+        except BaseException:
+            # A failed batch must not leak per-plan shadow lanes into
+            # the long-lived engine (pool callers retry batches).
+            for run in runs:
+                engine.drop_tenant(run.tag)
+            raise
+        results = []
+        for run in runs:
+            report = engine.tenant_report(run.tag)
+            engine.drop_tenant(run.tag)
+            results.append(
+                RunResult(
+                    workload=run.plan.name,
+                    output=run.output,
+                    report=report,
+                    stats=run.stats,
+                    registrations=run.registrations,
+                    config=session.config,
+                    params=dict(run.plan.params),
+                    warm=run.warm,
+                    session=session,
+                    cached=run.cached,
+                    fused=True,
+                )
+            )
+            session.run_count += 1
+        return results
+
+    # -- key lookup ----------------------------------------------------
+
+    def _lookup(self, key: tuple):
+        """Resolve a dedup key against the batch map and the session's
+        result cache.  Returns ``(found, value)``."""
+        if key in self._done:
+            return True, isolate_output(self._done[key])
+        session = self.session
+        if session.config.result_cache:
+            hit = session._results.get(key)
+            if hit is not None:
+                return True, hit[0]
+        return False, None
+
+    def _publish(self, key: tuple, value: Any) -> None:
+        self._done[key] = isolate_output(value)
+        self._owners.pop(key, None)
+        if self.session.config.result_cache:
+            self.session._results.put(key, value)
+
+    def _stage_key(self, stage: PlanStage, plan: WorkloadPlan) -> tuple | None:
+        if stage.key is None:
+            return None
+        return (*stage.key, plan.version)
+
+    # -- one scheduling step -------------------------------------------
+
+    def _advance(self, run: _PlanRun, buffer) -> bool:
+        """Advance one run by one step; returns False when blocked on a
+        key another run owns."""
+        plan = run.plan
+        if not run.started:
+            return self._start(run)
+        if run.stage_idx >= len(plan.stages):
+            self._finish(run)
+            return True
+        stage = plan.stages[run.stage_idx]
+        if stage.kind == "call":
+            # Call stages may register/release sets; drain deferred
+            # bursts first so no unit observes mutated SM state.
+            self._flush(buffer)
+            with self._slice(run):
+                run.value = stage.run(self.session, run.state)
+            run.stage_idx += 1
+            return True
+        return self._advance_bursts(run, stage, buffer)
+
+    def _start(self, run: _PlanRun) -> bool:
+        session = self.session
+        plan = run.plan
+        key = session._results.make_key(
+            plan.name, plan.cache_params, plan.version
+        )
+        run.cache_key = key
+        if key is not None:
+            found, value = self._lookup(key)
+            if found:
+                run.output = value
+                run.cached = True
+                run.warm = True
+                run.started = True
+                run.finished = True
+                return True
+            owner = self._owners.get(key)
+            if owner is not None and owner is not run:
+                return False  # an identical plan is already executing
+            self._owners[key] = run
+            run.owns_key = True
+        run.warm = session._is_warm(plan.spec, None, plan.params)
+        run.started = True
+        return True
+
+    def _advance_bursts(self, run: _PlanRun, stage: PlanStage, buffer) -> bool:
+        key = self._stage_key(stage, run.plan)
+        if run.gen is None:
+            if key is not None:
+                found, value = self._lookup(key)
+                if found:
+                    # Sub-request dedup: install the shared value with
+                    # zero instructions issued.
+                    stage.seed(run.state, value)
+                    run.value = stage.result(run.state)
+                    run.stage_idx += 1
+                    return True
+                owner = self._owners.get(key)
+                if owner is not None and owner is not run:
+                    return False
+                self._owners[key] = run
+            with self._attribute(run):
+                run.gen = stage.units(self.session, run.state)
+        with self._attribute(run):
+            unit = next(run.gen, None)
+        if unit is None:
+            # Generator exhausted: drain deferred units so the stage
+            # value is complete, then publish it.
+            self._flush(buffer)
+            run.gen = None
+            run.value = stage.result(run.state)
+            if key is not None:
+                self._publish(key, run.value)
+            run.stage_idx += 1
+            return True
+        if self._fuse_bursts:
+            buffer.append((unit, run))
+            if len(buffer) >= self.fuse_width:
+                self._flush(buffer)
+        else:
+            # Host baseline / fusion off: execute in place, unfused.
+            # The unit's task is still current (nothing ran since its
+            # begin_task), so charges land on its lane naturally.
+            with self._slice(run):
+                counts = getattr(self.session.ctx, f"{unit.kind}_count_batch")(
+                    unit.a, unit.bs
+                )
+                unit.sink(counts)
+        return True
+
+    def _finish(self, run: _PlanRun) -> None:
+        run.output = run.value
+        if run.cache_key is not None:
+            self._publish(run.cache_key, run.output)
+        run.finished = True
+
+    def _flush(self, buffer) -> None:
+        """Issue every buffered unit as fused macros (one macro per
+        maximal same-kind group; the first constituent carries the
+        macro decode)."""
+        if not buffer:
+            return
+        ctx = self.session.ctx
+        i = 0
+        n = len(buffer)
+        while i < n:
+            kind = buffer[i][0].kind
+            j = i
+            first = True
+            while j < n and buffer[j][0].kind == kind:
+                unit, run = buffer[j]
+                with self._slice(run), ctx.on_lane(unit.lane):
+                    counts = ctx.fused_count_burst(
+                        unit.a, unit.bs, kind=kind, include_decode=first
+                    )
+                    unit.sink(counts)
+                first = False
+                j += 1
+            i = j
+        buffer.clear()

@@ -1,0 +1,267 @@
+"""SessionPool: the multi-tenant serving front-end.
+
+One :class:`~repro.session.session.SisaSession` serves one graph; a
+production deployment serves *many* graphs for *many* tenants at once.
+:class:`SessionPool` manages that fleet:
+
+* **N sessions, LRU-evicted** — ``pool.session(key, graph)`` returns
+  the cached session for ``key`` (creating it on first use); beyond
+  ``max_sessions`` the least-recently-used idle session is dropped,
+  exactly like the result cache bounds its entries.  A session with
+  queued plans is never evicted.
+* **Shared SCU memo tables** — every session whose
+  :meth:`~repro.session.config.ExecutionConfig.memo_signature` matches
+  shares one SCU decision table, so the variant-decision work one
+  tenant's workload performs warms every other session on the same
+  simulated machine.  The memoized values are pure functions of
+  operand shapes and the frozen configs, so sharing is bit-identical —
+  it changes Python time, never modeled cycles.
+* **Fair round-robin scheduling, accounted per tenant** —
+  ``pool.submit(key, workload, tenant=..., **params)`` compiles a
+  :class:`~repro.session.plan.WorkloadPlan` (pinning the session's
+  stream version); ``pool.run()`` executes everything queued, ordering
+  each session's batch round-robin across tenants so no tenant's plans
+  monopolize a burst window, and charges every modeled cycle to its
+  tenant (``pool.tenant_cycles``) via the engine's per-tenant marks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.session.config import ExecutionConfig
+from repro.session.plan import PlanExecutor, WorkloadPlan
+from repro.session.result import RunResult
+from repro.session.session import SisaSession
+
+
+class SessionPool:
+    """A bounded fleet of sessions serving a multi-tenant workload mix."""
+
+    def __init__(
+        self,
+        config: ExecutionConfig | None = None,
+        *,
+        max_sessions: int = 4,
+        fuse: bool = True,
+        fuse_width: int = 8,
+        **overrides: Any,
+    ):
+        if max_sessions <= 0:
+            raise ConfigError("max_sessions must be positive")
+        if config is not None and overrides:
+            config = config.replace(**overrides)
+        elif config is None:
+            config = ExecutionConfig(**overrides)
+        self.config = config
+        self.max_sessions = max_sessions
+        self.fuse = fuse
+        self.fuse_width = fuse_width
+        self._sessions: OrderedDict[Any, SisaSession] = OrderedDict()
+        self._memos: dict[tuple, dict] = {}
+        # Queued (submit_index, session_key, plan) triples.
+        self._pending: list[tuple[int, Any, WorkloadPlan]] = []
+        self._submitted = 0
+        self._tenant_cycles: dict[str, float] = {}
+        self._tenant_runs: dict[str, int] = {}
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._sessions
+
+    @property
+    def session_keys(self) -> tuple:
+        """Resident session keys, least- to most-recently used."""
+        return tuple(self._sessions)
+
+    def session(
+        self,
+        key: Any,
+        graph=None,
+        *,
+        config: ExecutionConfig | None = None,
+    ) -> SisaSession:
+        """The pool's session for ``key`` (most-recently-used after the
+        call).  ``graph`` is required the first time a key is seen;
+        ``config`` optionally overrides the pool default for that
+        session."""
+        existing = self._sessions.get(key)
+        if existing is not None:
+            if graph is not None and existing.graph is not graph:
+                raise ConfigError(
+                    f"session key {key!r} is already bound to a different "
+                    "graph; use a distinct key per graph"
+                )
+            self._sessions.move_to_end(key)
+            return existing
+        if graph is None:
+            raise ConfigError(
+                f"unknown session key {key!r}; pass the graph to create it"
+            )
+        cfg = config or self.config
+        memo = self._memos.setdefault(cfg.memo_signature(), {})
+        session = SisaSession(graph, cfg, decision_memo=memo)
+        self._sessions[key] = session
+        self._evict()
+        return session
+
+    def _evict(self) -> None:
+        """Drop least-recently-used idle sessions past the bound.
+
+        Sessions with queued plans are pinned (their compiled plans
+        hold the session and its sets); the pool may transiently exceed
+        ``max_sessions`` until those drain."""
+        busy = {key for __, key, __ in self._pending}
+        while len(self._sessions) > self.max_sessions:
+            victim = next(
+                (k for k in self._sessions if k not in busy), None
+            )
+            if victim is None or victim == next(reversed(self._sessions)):
+                return
+            del self._sessions[victim]
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Submitting and running plans
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        key: Any,
+        workload: str,
+        *,
+        tenant: str = "default",
+        graph=None,
+        **params: Any,
+    ) -> WorkloadPlan:
+        """Compile ``workload`` against ``key``'s session and queue the
+        plan under ``tenant``.  Returns the plan (its stream version is
+        pinned now; a stream that advances before :meth:`run` makes the
+        plan fail fast)."""
+        from repro.session.plan import compile_plan
+
+        session = self.session(key, graph)
+        plan = compile_plan(session, workload, params, tenant=tenant)
+        self._pending.append((self._submitted, key, plan))
+        self._submitted += 1
+        return plan
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def discard_stale(self) -> list[WorkloadPlan]:
+        """Drop queued plans whose stream drifted past their pinned
+        version (returns them, so callers can resubmit recompiled
+        replacements)."""
+        stale = [plan for __, __, plan in self._pending if plan.stale]
+        if stale:
+            self._pending = [e for e in self._pending if not e[2].stale]
+        return stale
+
+    def run(self) -> list[RunResult]:
+        """Execute every queued plan; results in submission order.
+
+        Per session, the batch is ordered round-robin across tenants
+        (first tenant's first plan, second tenant's first plan, ...,
+        first tenant's second plan, ...) so burst windows interleave
+        fairly; each plan's modeled cycles are charged to its tenant.
+
+        Stale plans fail the whole call *before anything executes*
+        (nothing is dequeued; :meth:`discard_stale` drops them, or
+        resubmit recompiled plans).  On any other executor error, plans
+        that did not complete stay queued.
+        """
+        # Fail fast on drift before any tenant's work starts — one
+        # tenant's stale plan must not cost another tenant's computed
+        # results.
+        for __, __, plan in self._pending:
+            plan.check_version()
+        pending, self._pending = self._pending, []
+        by_session: OrderedDict[Any, list] = OrderedDict()
+        for idx, key, plan in pending:
+            by_session.setdefault(key, []).append((idx, plan))
+        results: dict[int, RunResult] = {}
+        try:
+            for key, entries in by_session.items():
+                session = self._sessions[key]
+                ordered = _round_robin_by_tenant(entries)
+                executor = PlanExecutor(
+                    session, fuse=self.fuse, fuse_width=self.fuse_width
+                )
+                for (idx, plan), result in zip(
+                    ordered, executor.execute([plan for __, plan in ordered])
+                ):
+                    results[idx] = result
+                    tenant = plan.tenant or "default"
+                    self._tenant_cycles[tenant] = self._tenant_cycles.get(
+                        tenant, 0.0
+                    ) + _work_cycles(result)
+                    self._tenant_runs[tenant] = (
+                        self._tenant_runs.get(tenant, 0) + 1
+                    )
+        except BaseException:
+            # Re-queue everything that has no result yet, ahead of any
+            # plans submitted by an exception handler in the meantime.
+            self._pending = [
+                e for e in pending if e[0] not in results
+            ] + self._pending
+            raise
+        self._evict()
+        return [results[idx] for idx, __, __ in pending]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def tenant_cycles(self) -> dict[str, float]:
+        """Modeled work cycles charged to each tenant across every
+        ``run()`` so far (the pool's fairness ledger)."""
+        return dict(self._tenant_cycles)
+
+    @property
+    def tenant_runs(self) -> dict[str, int]:
+        """Plans completed per tenant."""
+        return dict(self._tenant_runs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"SessionPool(sessions={len(self._sessions)}/{self.max_sessions}, "
+            f"pending={len(self._pending)}, tenants={sorted(self._tenant_cycles)})"
+        )
+
+
+def _round_robin_by_tenant(entries):
+    """Interleave ``(idx, plan)`` entries fairly across tenants,
+    preserving each tenant's own submission order."""
+    queues: OrderedDict[str, list] = OrderedDict()
+    for entry in entries:
+        queues.setdefault(entry[1].tenant or "default", []).append(entry)
+    ordered = []
+    while queues:
+        for tenant in list(queues):
+            queue = queues[tenant]
+            ordered.append(queue.pop(0))
+            if not queue:
+                del queues[tenant]
+    return ordered
+
+
+def _work_cycles(result: RunResult) -> float:
+    """Total modeled work attributed to one plan run: all lanes summed
+    plus the run's sequential overhead (``runtime_cycles`` folds the
+    latter on top of the slowest lane).  This is the fairness currency;
+    the makespan lives in ``report.runtime_cycles``."""
+    lanes = result.report.lane_times
+    sequential = result.report.runtime_cycles - (max(lanes) if lanes else 0.0)
+    return float(sum(lanes) + sequential)

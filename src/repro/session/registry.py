@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SisaError
 
 REQUIRES = ("none", "undirected", "oriented", "both")
 
@@ -36,6 +36,24 @@ class WorkloadSpec:
     # needs depend on a parameter, e.g. kclique_star's variant).
     requires: str | Callable[[dict], str]
     view_capable: bool  # can run against a snapshot / dynamic view
+    # Optional stage compiler: ``stages(session, params)`` returns the
+    # declarative :class:`~repro.session.plan.PlanStage` list a
+    # :class:`~repro.session.plan.WorkloadPlan` executes.  Workloads
+    # without one compile to a single opaque call stage (not fusable,
+    # but still schedulable/dedupable as a whole).
+    stages: Callable[[Any, dict], list] | None = None
+    # Optional parameter normalizer: ``normalize(session, params)``
+    # returns the semantically-resolved parameter dict used for result
+    # cache / dedup keys (e.g. ``batch=None`` resolved against the
+    # session config), so every spelling of the same request shares one
+    # key.  Defaults to the raw params.
+    normalize: Callable[[Any, dict], dict] | None = None
+    # Names of the cached sub-requests this workload's plan stages may
+    # seed from (beyond its own name) — e.g. clustering_coefficient
+    # reads the "triangles" entry.  ``session.invalidate_results(name)``
+    # drops these too, so an explicitly invalidated workload can never
+    # be "recomputed" from a sub-request the caller meant to discard.
+    subrequests: tuple[str, ...] = ()
 
     def requires_for(self, params: dict) -> str:
         req = self.requires(params) if callable(self.requires) else self.requires
@@ -53,14 +71,28 @@ def workload(
     requires: str | Callable[[dict], str] = "undirected",
     view_capable: bool = False,
     description: str = "",
+    stages: Callable[[Any, dict], list] | None = None,
+    normalize: Callable[[Any, dict], dict] | None = None,
+    subrequests: tuple[str, ...] = (),
+    replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
-    """Register a session workload under ``name``."""
+    """Register a session workload under ``name``.
+
+    Re-registering an existing name raises
+    :class:`~repro.errors.SisaError` unless ``replace=True`` is passed
+    explicitly — a silent overwrite would let a plugin shadow a
+    built-in (and invalidate compiled plans holding the old spec)
+    without any signal.
+    """
     if not callable(requires) and requires not in REQUIRES:
         raise ConfigError(f"requires must be one of {REQUIRES}")
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
-        if name in _REGISTRY:
-            raise ConfigError(f"workload {name!r} is already registered")
+        if name in _REGISTRY and not replace:
+            raise SisaError(
+                f"workload {name!r} is already registered; pass "
+                "replace=True to overwrite it deliberately"
+            )
         doc_line = next(iter((fn.__doc__ or "").strip().splitlines()), "")
         _REGISTRY[name] = WorkloadSpec(
             name=name,
@@ -68,6 +100,9 @@ def workload(
             description=description or doc_line,
             requires=requires,
             view_capable=view_capable,
+            stages=stages,
+            normalize=normalize,
+            subrequests=subrequests,
         )
         return fn
 

@@ -36,6 +36,11 @@ class RunResult:
     warm: bool  # True when cached structures were reused
     session: "SisaSession"
     cached: bool = False  # True when served from the result cache
+    # True when this run executed inside a fused plan batch: ``report``
+    # then carries the plan's per-tenant attributed engine delta (its
+    # own slice of the interleaved stream) rather than a contiguous
+    # mark-to-mark region.
+    fused: bool = False
 
     @property
     def runtime_cycles(self) -> float:

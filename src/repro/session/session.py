@@ -55,6 +55,8 @@ class SisaSession:
         self,
         graph: CSRGraph,
         config: ExecutionConfig | None = None,
+        *,
+        decision_memo: dict | None = None,
         **overrides: Any,
     ):
         if config is not None and overrides:
@@ -63,7 +65,11 @@ class SisaSession:
             config = ExecutionConfig(**overrides)
         self.graph = graph
         self.config = config
-        self.ctx = config.make_context()
+        # ``decision_memo`` lets a SessionPool share one SCU decision
+        # table across all sessions with the same machine configuration
+        # (memoized values are pure functions of operand shapes and the
+        # fixed configs, so sharing is bit-identical; see Scu).
+        self.ctx = config.make_context(decision_memo=decision_memo)
         self.run_count = 0
         self._setgraph: SetGraph | None = None
         self._degeneracy: DegeneracyResult | None = None
@@ -99,7 +105,7 @@ class SisaSession:
         """
         if self._stream is None:
             return (0, 0)
-        return (self._stream.epoch, self._stream.mutations)
+        return self._stream.version
 
     @property
     def current_graph(self) -> CSRGraph:
@@ -321,8 +327,22 @@ class SisaSession:
         mutations invalidate implicitly — the stream version is part of
         every cache key — so this is only needed when state *outside*
         the session changed (e.g. a parameter object was mutated in
-        place)."""
-        return self._results.invalidate(workload)
+        place).
+
+        Per-workload invalidation also drops the sub-request entries
+        the workload's plan stages may seed from (declared on
+        ``WorkloadSpec.subrequests``, e.g. the triangle count inside
+        ``clustering_coefficient``) — otherwise a fused re-run would
+        quietly rebuild the "invalidated" result from a cached piece of
+        it."""
+        if workload is None:
+            return self._results.invalidate(None)
+        names = {workload}
+        try:
+            names.update(get_workload(workload).subrequests)
+        except ConfigError:
+            pass  # unregistered name: drop its own entries only
+        return sum(self._results.invalidate(name) for name in names)
 
     # ------------------------------------------------------------------
     # Running workloads
@@ -344,6 +364,55 @@ class SisaSession:
             return undirected_ready and oriented_ready
         return self.run_count > 0  # "none"
 
+    def compile(self, workload: str, **params: Any):
+        """Compile a registered workload into a
+        :class:`~repro.session.plan.WorkloadPlan`.
+
+        Compilation is declarative — no instructions issue and no
+        cached structure is built — and pins the session's current
+        stream version; executing a stale plan raises
+        :class:`~repro.errors.SisaError`.  Plans are the unit the
+        batch executors schedule: ``session.run_many([...])`` over one
+        graph, :meth:`~repro.session.pool.SessionPool.submit` across
+        graphs.
+        """
+        from repro.session.plan import compile_plan
+
+        return compile_plan(self, workload, params)
+
+    def run_many(
+        self,
+        plans,
+        *,
+        fuse: bool = True,
+        fuse_width: int = 8,
+    ) -> list[RunResult]:
+        """Execute a batch of plans and return their
+        :class:`RunResult`\\ s in batch order.
+
+        Items may be :class:`WorkloadPlan` objects (from
+        :meth:`compile`), workload names, or ``(name, params)`` pairs
+        (compiled on the spot).  With ``fuse=True`` the executor shares
+        prep once per graph, dedups identical sub-requests through the
+        result cache before any instruction issues, and fuses
+        compatible count-form frontier bursts from different plans into
+        shared macro dispatches; with ``fuse=False`` the batch executes
+        plan by plan, bit-identical to sequential :meth:`run` calls.
+        """
+        from repro.session.plan import PlanExecutor, WorkloadPlan
+
+        compiled = []
+        for item in plans:
+            if isinstance(item, WorkloadPlan):
+                compiled.append(item)
+            elif isinstance(item, str):
+                compiled.append(self.compile(item))
+            else:
+                name, params = item
+                compiled.append(self.compile(name, **params))
+        executor = PlanExecutor(self, fuse=fuse, fuse_width=fuse_width)
+        return executor.execute(compiled)
+
     def run(
         self,
         workload: str | Callable[..., Any],
@@ -361,12 +430,18 @@ class SisaSession:
         ``view`` routes a view-capable workload against a
         :class:`GraphSnapshot` (or the live :class:`DynamicSetGraph`)
         instead of the session's static structures.
+
+        Registered static runs are a one-plan wrapper over the plan
+        API: the workload is compiled and handed to a fusion-disabled
+        :class:`~repro.session.plan.PlanExecutor`, whose sequential
+        mode reproduces the eager instruction stream bit for bit — so
+        the PR 3 surface (outputs, cycles, stats, caching) is
+        unchanged.  View runs and ad-hoc callables bypass planning.
         """
         if view is not None:
             from repro.streaming.graph import ensure_live_view
 
             ensure_live_view(view)
-        cache_key = None
         if callable(workload):
             if view is not None:
                 raise ConfigError("view runs require a registered workload")
@@ -387,35 +462,15 @@ class SisaSession:
                 raise ConfigError(
                     f"workload {name!r} cannot run against a view"
                 )
-            if self.config.result_cache and view is None:
-                # Registered workloads are deterministic functions of
-                # (name, params, graph state); the stream version keys
-                # the state, so a hit is answered in O(1) — zero
-                # instructions, zero registrations.
-                cache_key = self._results.make_key(name, params, self._version)
-                if cache_key is not None:
-                    hit = self._results.get(cache_key)
-                    if hit is not None:
-                        mark = self.ctx.mark()
-                        self.run_count += 1
-                        return RunResult(
-                            workload=name,
-                            output=hit[0],
-                            report=self.ctx.report_since(mark),
-                            stats=self.ctx.stats_since(mark),
-                            registrations=0,
-                            config=self.config,
-                            params=dict(params),
-                            warm=True,
-                            session=self,
-                            cached=True,
-                        )
+            if view is None:
+                from repro.session.plan import PlanExecutor, compile_plan
+
+                plan = compile_plan(self, name, params)
+                (result,) = PlanExecutor(self, fuse=False).execute([plan])
+                return result
             warm = self._is_warm(spec, view, params)
             mark = self.ctx.mark()
-            if view is not None:
-                output = spec.fn(self, view=view, **params)
-            else:
-                output = spec.fn(self, **params)
+            output = spec.fn(self, view=view, **params)
         result = RunResult(
             workload=name,
             output=output,
@@ -427,8 +482,6 @@ class SisaSession:
             warm=warm,
             session=self,
         )
-        if cache_key is not None:
-            self._results.put(cache_key, output)
         self.run_count += 1
         return result
 

@@ -45,6 +45,224 @@ def _batch(session, batch):
 
 
 # ---------------------------------------------------------------------------
+# Stage compilers (plan API)
+#
+# Each builder decomposes its workload into the declarative stage list a
+# WorkloadPlan executes: prep (which cached structure to touch), the
+# count-form frontier bursts as schedulable units, and host-side
+# finalization.  Executed in order, the stages reproduce the eager
+# kernel's instruction stream op for op — asserted bit-identical in
+# tests — while exposing the bursts for cross-plan fusion and the
+# shared sub-requests (e.g. the triangle count inside
+# clustering_coefficient) for dedup.  A builder returns None when the
+# requested parameters are not decomposable (e.g. batch=False); the
+# plan then falls back to one opaque call stage.
+# ---------------------------------------------------------------------------
+
+
+def _prep_stage(which: str) -> "PlanStage":
+    from repro.session.plan import PlanStage
+
+    def run(session, state, *, _which=which):
+        if _which in ("undirected", "both"):
+            session.setgraph
+        if _which in ("oriented", "both"):
+            session.oriented_setgraph
+        return None
+
+    return PlanStage(kind="call", label=f"prep:{which}", reads=(which,), run=run)
+
+
+def _triangle_burst_stage() -> "PlanStage":
+    """The shared triangle-count burst stage (Algorithm 1's oriented
+    ``|N+(u) ∩ N+(v)|`` bursts) — the sub-request both ``triangles``
+    and ``clustering_coefficient`` plans schedule, under one dedup key."""
+    from repro.session.plan import BurstUnit, PlanStage, subrequest_key
+
+    def units(session, state):
+        sg = session.oriented_setgraph
+        ctx = session.ctx
+        state["triangles"] = 0
+
+        def sink(counts):
+            state["triangles"] += int(counts.sum())
+
+        for u in range(sg.num_vertices):
+            lane = ctx.begin_task()
+            out_u = sg.neighborhood(u)
+            nbrs = ctx.elements(out_u)
+            if nbrs.size:
+                yield BurstUnit(
+                    a=out_u,
+                    bs=[sg.neighborhood(int(v)) for v in nbrs],
+                    kind="intersect",
+                    lane=lane,
+                    sink=sink,
+                )
+
+    return PlanStage(
+        kind="bursts",
+        label="bursts:triangles",
+        reads=("oriented",),
+        key=subrequest_key("triangles", {"batch": True}),
+        units=units,
+        result=lambda state: state["triangles"],
+        seed=lambda state, value: state.__setitem__("triangles", value),
+    )
+
+
+def _triangles_stages(session, params):
+    if not _batch(session, params.get("batch")):
+        return None  # the scalar per-pair stream is not decomposable
+    return [_prep_stage("oriented"), _triangle_burst_stage()]
+
+
+def _normalize_batch_only(session, params):
+    """Cache-key normalizer for workloads whose only knob is ``batch``:
+    ``None`` resolves against the session config, so ``run("triangles")``
+    and a plan's ``("triangles", {"batch": True})`` sub-request share
+    one key (``batch`` does not change outputs or modeled cycles)."""
+    return {"batch": _batch(session, params.get("batch"))}
+
+
+def _clustering_coefficient_stages(session, params):
+    from repro.session.plan import PlanStage
+
+    if not _batch(session, params.get("batch")):
+        return None
+
+    def finalize(session, state):
+        count = state["triangles"]
+        degrees = session.current_graph.degrees.astype(float)
+        wedges = float((degrees * (degrees - 1) / 2).sum())
+        return 3.0 * count / wedges if wedges > 0 else 0.0
+
+    return [
+        _prep_stage("oriented"),
+        _triangle_burst_stage(),
+        PlanStage(kind="call", label="finalize:wedges", run=finalize),
+    ]
+
+
+def _local_clustering_stages(session, params):
+    from repro.session.plan import BurstUnit, PlanStage, subrequest_key
+
+    def units(session, state):
+        sg = session.setgraph
+        ctx = session.ctx
+        counts = state["counts"] = np.zeros(sg.num_vertices, dtype=np.int64)
+        for v in range(sg.num_vertices):
+            lane = ctx.begin_task()
+            nbrs = ctx.elements(sg.neighborhood(v))
+            if nbrs.size:
+
+                def sink(burst, *, _v=v):
+                    counts[_v] = int(burst.sum()) // 2
+
+                yield BurstUnit(
+                    a=sg.neighborhood(v),
+                    bs=[sg.neighborhood(int(u)) for u in nbrs],
+                    kind="intersect",
+                    lane=lane,
+                    sink=sink,
+                )
+
+    def finalize(session, state):
+        counts = state["counts"]
+        d = degrees_of(session.setgraph).astype(np.float64)
+        denom = d * (d - 1.0)
+        return np.divide(
+            2.0 * counts.astype(np.float64),
+            denom,
+            out=np.zeros(counts.size, dtype=np.float64),
+            where=denom > 0,
+        )
+
+    return [
+        _prep_stage("undirected"),
+        PlanStage(
+            kind="bursts",
+            label="bursts:local_triangles",
+            reads=("undirected",),
+            key=subrequest_key("local_triangle_counts", {}),
+            units=units,
+            result=lambda state: state["counts"],
+            seed=lambda state, value: state.__setitem__("counts", value),
+        ),
+        PlanStage(kind="call", label="finalize:coefficients", run=finalize),
+    ]
+
+
+# Count measures whose per-run burst + hoisted cardinality fetches the
+# stage compiler can reproduce exactly (shared-neighbor measures batch
+# through the materializing fan-out and stay opaque).
+_PLANNABLE_MEASURES = ("jaccard", "overlap", "common_neighbors", "total_neighbors")
+
+
+def _similarity_pairs_stages(session, params):
+    from repro.algorithms.similarity import iter_shared_first_runs
+    from repro.session.plan import BurstUnit, PlanStage, subrequest_key
+
+    measure = params.get("measure", "jaccard")
+    if (
+        "pairs" not in params  # let the opaque path raise the usual error
+        or not _batch(session, params.get("batch"))
+        or measure not in _PLANNABLE_MEASURES
+    ):
+        return None
+    pairs = np.asarray(params["pairs"], dtype=np.int64)
+    kind = "union" if measure == "total_neighbors" else "intersect"
+
+    def units(session, state):
+        sg = session.setgraph
+        ctx = session.ctx
+        scores = state["scores"] = np.zeros(len(pairs), dtype=np.float64)
+        for u, i, j in iter_shared_first_runs(pairs):
+            lane = ctx.begin_task()
+            vs = [int(p[1]) for p in pairs[i:j]]
+            nu = sg.neighborhood(u)
+            nvs = [sg.neighborhood(v) for v in vs]
+
+            def sink(counts, *, _i=i, _j=j, _nu=nu, _nvs=nvs):
+                # Replicates similarity_batch_on's post-burst stream:
+                # the |N(u)| fetch hoisted once per frontier, then one
+                # cardinality per frontier operand.
+                if measure in ("total_neighbors", "common_neighbors"):
+                    scores[_i:_j] = counts.astype(np.float64)
+                    return
+                inter = counts.astype(np.float64)
+                du = ctx.cardinality(_nu)
+                dvs = np.asarray(
+                    [ctx.cardinality(nv) for nv in _nvs], dtype=np.float64
+                )
+                if measure == "jaccard":
+                    denom = du + dvs - inter
+                else:  # overlap
+                    denom = np.minimum(float(du), dvs)
+                scores[_i:_j] = np.divide(
+                    inter, denom, out=np.zeros_like(inter), where=denom > 0
+                )
+
+            yield BurstUnit(a=nu, bs=nvs, kind=kind, lane=lane, sink=sink)
+
+    return [
+        _prep_stage("undirected"),
+        PlanStage(
+            kind="bursts",
+            label=f"bursts:watchlist-{measure}",
+            reads=("undirected",),
+            key=subrequest_key(
+                "similarity_pairs",
+                {"pairs": pairs, "measure": measure, "batch": True},
+            ),
+            units=units,
+            result=lambda state: state["scores"],
+            seed=lambda state, value: state.__setitem__("scores", value),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Pattern matching
 # ---------------------------------------------------------------------------
 
@@ -54,6 +272,8 @@ def _batch(session, batch):
     requires="oriented",
     view_capable=True,
     description="Triangle count (Algorithm 1, oriented count bursts)",
+    stages=_triangles_stages,
+    normalize=_normalize_batch_only,
 )
 def _triangles(session, *, batch=None, view=None):
     ctx = session.ctx
@@ -70,6 +290,9 @@ def _triangles(session, *, batch=None, view=None):
     "clustering_coefficient",
     requires="oriented",
     description="Global clustering coefficient 3T / open wedges",
+    stages=_clustering_coefficient_stages,
+    normalize=_normalize_batch_only,
+    subrequests=("triangles",),
 )
 def _clustering_coefficient(session, *, batch=None):
     count = triangle_count_oriented(
@@ -85,6 +308,8 @@ def _clustering_coefficient(session, *, batch=None):
     requires="undirected",
     view_capable=True,
     description="Per-vertex local clustering coefficients",
+    stages=_local_clustering_stages,
+    subrequests=("local_triangle_counts",),
 )
 def _local_clustering(session, *, view=None):
     target = view if view is not None else session.setgraph
@@ -233,6 +458,14 @@ def _similarity(session, *, u, v, measure="jaccard"):
     requires="undirected",
     view_capable=True,
     description="Batched similarity scores for a pair list",
+    stages=_similarity_pairs_stages,
+    normalize=lambda session, params: {
+        "pairs": np.asarray(params["pairs"], dtype=np.int64),
+        "measure": params.get("measure", "jaccard"),
+        "batch": _batch(session, params.get("batch")),
+    }
+    if "pairs" in params
+    else params,
 )
 def _similarity_pairs(session, *, pairs, measure="jaccard", batch=None, view=None):
     target = view if view is not None else session.setgraph

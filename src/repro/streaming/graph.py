@@ -223,6 +223,17 @@ class DynamicSetGraph(_SetView):
         return self._dense_mask
 
     @property
+    def version(self) -> tuple[int, int]:
+        """The stream state stamp ``(epoch, mutations)``.
+
+        Every consumer that caches state derived from the live sets —
+        session CSR/orientation caches, result-cache keys, compiled
+        :class:`~repro.session.plan.WorkloadPlan` pins — keys on this
+        tuple; the mutation count covers mid-batch updates that have not
+        advanced the epoch yet."""
+        return (self.epoch, self.mutations)
+
+    @property
     def edge_count(self) -> int:
         sm = self.ctx.sm
         return sum(sm.meta(sid).cardinality for sid in self._set_ids) // 2

@@ -205,12 +205,44 @@ class TestBatchSequentialEquivalence:
         assert ctx_b.scu.stats == ctx_s.scu.stats
         assert ctx_b.trace.events == ctx_s.trace.events
 
+    @pytest.mark.parametrize("mode", ["sisa", "cpu-set"])
+    @pytest.mark.parametrize(
+        "batch_name,scalar_name",
+        [("union_batch", "union"), ("difference_batch", "difference")],
+    )
+    def test_materializing_union_difference_batch_matches_scalar(
+        self, mode, batch_name, scalar_name
+    ):
+        """The PR 5 satellite: materializing union/difference fan-outs,
+        cycle-identical to the per-op stream for every representation
+        pair (same dispatch path as intersect_batch)."""
+        ctx_b, ids_b = _mixed_context(mode=mode, trace=True)
+        ctx_s, ids_s = _mixed_context(mode=mode, trace=True)
+        a_b, a_s = ids_b[8], ids_s[8]
+        ctx_b.begin_task()
+        got_ids = getattr(ctx_b, batch_name)(a_b, ids_b[:20])
+        ctx_s.begin_task()
+        scalar_op = getattr(ctx_s, scalar_name)
+        exp_ids = [scalar_op(a_s, b) for b in ids_s[:20]]
+        assert got_ids == exp_ids
+        for g, e in zip(got_ids, exp_ids):
+            assert np.array_equal(
+                ctx_b.value(g).to_array(), ctx_s.value(e).to_array()
+            )
+            assert type(ctx_b.value(g)) is type(ctx_s.value(e))
+        assert ctx_b.runtime_cycles == ctx_s.runtime_cycles
+        assert ctx_b.scu.stats == ctx_s.scu.stats
+        assert ctx_b.scu.smb.stats == ctx_s.scu.smb.stats
+        assert ctx_b.trace.events == ctx_s.trace.events
+
     def test_empty_batch_charges_nothing(self):
         ctx, ids = _mixed_context()
         before = ctx.runtime_cycles
         instr = ctx.instruction_count
         assert ctx.intersect_count_batch(ids[0], []).size == 0
         assert ctx.intersect_batch(ids[0], []) == []
+        assert ctx.union_batch(ids[0], []) == []
+        assert ctx.difference_batch(ids[0], []) == []
         assert ctx.runtime_cycles == before
         assert ctx.instruction_count == instr
 

@@ -461,16 +461,42 @@ class TestResultCache:
         snap.release()
 
     def test_uncacheable_params_skip_quietly(self):
+        from repro.session import workload
+        from repro.session.registry import _REGISTRY
+
         session = self._session()
 
         class Odd:
             pass
 
-        with pytest.raises(Exception):
-            # The workload itself rejects the junk parameter, but the
-            # cache must have skipped (not crashed) first.
+        @workload("_test_uncacheable", requires="none")
+        def _probe(session, *, marker=None):
+            return 42
+
+        try:
+            # A legitimate parameter whose value cannot be
+            # canonicalized: the run must succeed uncached (skip
+            # counted), never crash the cache or false-hit.
+            one = session.run("_test_uncacheable", marker=Odd())
+            two = session.run("_test_uncacheable", marker=Odd())
+            assert one.output == two.output == 42
+            assert not one.cached and not two.cached
+            assert session.cache_stats.skips >= 2
+            assert session.cache_stats.hits == 0
+        finally:
+            del _REGISTRY["_test_uncacheable"]
+
+    def test_unknown_params_rejected_before_the_cache(self):
+        session = self._session()
+
+        class Odd:
+            pass
+
+        with pytest.raises(ConfigError, match="junk"):
+            # Misspelled/unknown parameters fail at plan compile —
+            # before the cache is ever consulted.
             session.run("kclique", k=3, junk=Odd())
-        assert session.cache_stats.skips >= 1
+        assert session.cache_stats.skips == 0
 
     def test_cache_size_validation(self):
         with pytest.raises(ConfigError):

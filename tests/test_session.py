@@ -36,7 +36,7 @@ from repro.algorithms.kclique import four_clique_count_on, kclique_count_on
 from repro.algorithms.similarity import similarity_on
 from repro.algorithms.subgraph_iso import star_pattern, subgraph_isomorphism_on
 from repro.algorithms.triangles import triangle_count_oriented
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SisaError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import chung_lu_graph, gnp_random_graph
 from repro.graphs.streams import EdgeBatch, canonical_edges
@@ -142,11 +142,33 @@ class TestRegistry:
 
     def test_duplicate_registration_rejected(self):
         get_workload("triangles")  # ensure defaults are registered
-        with pytest.raises(ConfigError):
+        with pytest.raises(SisaError, match="replace=True"):
 
             @workload("triangles")
             def _clash(session):  # pragma: no cover
                 return None
+
+    def test_duplicate_registration_with_replace(self):
+        from repro.session.registry import _REGISTRY
+
+        @workload("_test_replaceable")
+        def original(session):
+            return "original"
+
+        try:
+            with pytest.raises(SisaError):
+
+                @workload("_test_replaceable")
+                def clash(session):  # pragma: no cover
+                    return "clash"
+
+            @workload("_test_replaceable", replace=True)
+            def replacement(session):
+                return "replacement"
+
+            assert _REGISTRY["_test_replaceable"].fn is replacement
+        finally:
+            del _REGISTRY["_test_replaceable"]
 
     def test_spec_metadata(self):
         spec = get_workload("triangles")

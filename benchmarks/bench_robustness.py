@@ -1,0 +1,201 @@
+"""Fault-injection soak: hardened serving under a seeded fault schedule.
+
+Eight tenants share one pooled session and submit mixed workload
+batches for several epochs while a seeded
+:class:`~repro.serving.faults.FaultInjector` drives every degradation
+path the hardened :class:`~repro.session.pool.SessionPool` owns:
+stream drift (plans recompiled and retried), result-cache eviction and
+corruption (detected by the cache fingerprint, degraded to recompute),
+orientation desync (charged ``resync()``), and kernel-stage faults
+(isolated, charged to the tenant's retry ledger, retried up to the
+policy bound).
+
+Each epoch gets a fresh injector (seed derived from the soak seed) with
+a per-kind cap of 2.  Worst case for one plan is 2 kernel faults plus 2
+drift injections = 4 burned attempts, so ``RetryPolicy(max_retries=4)``
+guarantees a clean 5th attempt — steady-state completion is 100% *by
+construction*, and the soak asserts it.
+
+Acceptance floors (enforced here and in CI; modeled cycles are
+deterministic, so CI asserts the full floors):
+
+* completion rate >= ``BENCH_ROBUST_MIN_COMPLETION`` (default 1.0 —
+  every submitted plan eventually yields a ``RunResult``);
+* retry-cycle overhead (cycles burned by failed attempts, summed over
+  every tenant's retry ledger) <= ``BENCH_ROBUST_MAX_OVERHEAD``
+  (default 10%) of the useful cycles charged to the tenant ledgers;
+* every faulted output bit-identical (``repr`` equality) to the same
+  schedule run on a fault-free hardened pool.
+
+Env knobs: ``BENCH_ROBUST_N`` / ``BENCH_ROBUST_P`` (graph shape,
+default 150 / 0.06), ``BENCH_ROBUST_TENANTS`` (default 8),
+``BENCH_ROBUST_EPOCHS`` (default 6), ``BENCH_ROBUST_SEED`` (default 7).
+"""
+
+import os
+
+import numpy as np
+
+from repro.graphs.generators import gnp_random_graph
+from repro.serving import FaultInjector, RetryPolicy, TenantQuota
+from repro.session import ExecutionConfig, SessionPool
+
+from common import emit
+
+N = int(os.environ.get("BENCH_ROBUST_N", "150"))
+P = float(os.environ.get("BENCH_ROBUST_P", "0.06"))
+TENANTS = int(os.environ.get("BENCH_ROBUST_TENANTS", "8"))
+EPOCHS = int(os.environ.get("BENCH_ROBUST_EPOCHS", "6"))
+SEED = int(os.environ.get("BENCH_ROBUST_SEED", "7"))
+MIN_COMPLETION = float(os.environ.get("BENCH_ROBUST_MIN_COMPLETION", "1.0"))
+MAX_OVERHEAD = float(os.environ.get("BENCH_ROBUST_MAX_OVERHEAD", "0.10"))
+THREADS = 32
+
+# Per-epoch injector: per-kind cap of 2 keeps total attempt-burning
+# faults (kernel + drift) below the retry allowance of any single plan.
+FAULT_RATES = dict(
+    drift_rate=0.08, cache_rate=0.35, kernel_rate=0.2, orientation_rate=0.15
+)
+MAX_PER_KIND = 2
+RETRY = RetryPolicy(max_retries=4)
+
+WORKLOADS = [
+    ("triangles", {}),
+    ("clustering_coefficient", {}),
+    ("local_clustering", {}),
+    ("kclique", {"k": 3}),
+    ("bfs", {"root": 0}),
+]
+
+
+def _schedule(rng):
+    """One epoch's submissions: each tenant draws three workloads from
+    the mix (seeded, so the whole soak replays from BENCH_ROBUST_SEED)."""
+    subs = []
+    for t in range(TENANTS):
+        picks = rng.integers(0, len(WORKLOADS), size=3)
+        for pick in picks:
+            name, params = WORKLOADS[int(pick)]
+            subs.append((f"tenant-{t}", name, params))
+    return subs
+
+
+def _pool(graph, injector):
+    pool = SessionPool(
+        ExecutionConfig(threads=THREADS),
+        max_sessions=2,
+        default_quota=TenantQuota(max_queue_depth=8, max_deferred=32),
+        retry=RETRY,
+        fault_injector=injector,
+    )
+    # Arm every degradation path: drift needs a stream to advance, the
+    # orientation desync needs a maintainer to mark out of sync.
+    session = pool.session("soak", graph)
+    session.attach_stream()
+    session.maintain_orientation()
+    return pool
+
+
+def _drain(pool):
+    """run() until the pending and deferred queues are empty."""
+    results = []
+    for _ in range(64):
+        if not (pool.pending or pool.deferred):
+            return results
+        results.extend(pool.run())
+    raise AssertionError("soak failed to drain the pool")
+
+
+def _soak(graph, faulted: bool):
+    """Run the full soak schedule; returns (pool, results, injected)."""
+    rng = np.random.default_rng(SEED)
+    pool = _pool(graph, None)
+    injected = {}
+    results = []
+    for epoch in range(EPOCHS):
+        if faulted:
+            pool.fault_injector = FaultInjector(
+                SEED + 1000 * epoch, max_per_kind=MAX_PER_KIND, **FAULT_RATES
+            )
+        for tenant, name, params in _schedule(rng):
+            pool.submit("soak", name, tenant=tenant, **params)
+        results.extend(_drain(pool))
+        if faulted:
+            for kind, count in pool.fault_injector.injected.items():
+                injected[kind] = injected.get(kind, 0) + count
+    return pool, results, injected
+
+
+def _measure(graph):
+    clean_pool, clean_runs, _ = _soak(graph, faulted=False)
+    pool, runs, injected = _soak(graph, faulted=True)
+
+    assert len(runs) == len(clean_runs)
+    completed = sum(1 for r in runs if r.ok)
+    completion = completed / len(runs)
+    for clean, noisy in zip(clean_runs, runs):
+        if noisy.ok:
+            assert noisy.workload == clean.workload
+            assert repr(noisy.output) == repr(clean.output), noisy.workload
+
+    useful = sum(pool.tenant_cycles.values())
+    retry = sum(pool.tenant_retry_cycles.values())
+    overhead = retry / useful
+    return pool, injected, completion, useful, retry, overhead
+
+
+def _render(graph, pool, injected, completion, useful, retry, overhead):
+    health = pool.health()
+    print("== Robustness soak: seeded faults vs a fault-free schedule ==")
+    print(
+        f"gnp n={graph.num_vertices} m={graph.edge_array().shape[0]} "
+        f"tenants={TENANTS} epochs={EPOCHS} seed={SEED} threads={THREADS}"
+    )
+    print(
+        "injected faults: "
+        + " ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+    )
+    print(
+        f"degradations: retries={health.retries} "
+        f"drift_recompiles={health.drift_recompiles} "
+        f"cache_corruptions={health.cache_corruptions} "
+        f"cache_evictions={health.cache_evictions} "
+        f"orientation_resyncs={health.orientation_resyncs}"
+    )
+    print(f"\n{'tenant':<12}{'useful Mcyc':>13}{'retry Mcyc':>12}{'runs':>6}")
+    for tenant in health.tenants:
+        print(
+            f"{tenant.tenant:<12}{tenant.cycles / 1e6:>13.3f}"
+            f"{tenant.retry_cycles / 1e6:>12.3f}"
+            f"{pool.tenant_runs.get(tenant.tenant, 0):>6}"
+        )
+    print(
+        f"\ncompletion rate: {completion:.3f} "
+        f"(floor {MIN_COMPLETION:.2f}); retry overhead: "
+        f"{retry / 1e6:.3f} / {useful / 1e6:.3f} Mcycles = "
+        f"{overhead:.1%} (ceiling {MAX_OVERHEAD:.0%})"
+    )
+    print(
+        "every completed output asserted bit-identical to the "
+        "fault-free run of the same schedule"
+    )
+
+
+def test_robustness_soak(benchmark):
+    graph = gnp_random_graph(N, P, seed=SEED)
+    pool, injected, completion, useful, retry, overhead = _measure(graph)
+    emit(
+        "robustness",
+        lambda: _render(
+            graph, pool, injected, completion, useful, retry, overhead
+        ),
+    )
+    assert completion >= MIN_COMPLETION
+    assert overhead <= MAX_OVERHEAD
+
+    benchmark(lambda: _soak(graph, faulted=True))
+
+
+if __name__ == "__main__":
+    graph = gnp_random_graph(N, P, seed=SEED)
+    _render(graph, *_measure(graph))

@@ -1,0 +1,66 @@
+"""Serving-hardening layer: the front door of the SessionPool.
+
+The session/plan stack (PRs 3-5) gave the reproduction a serving-shaped
+API; this package gives it defined behavior at the edges:
+
+* :mod:`repro.serving.validation` — a pluggable ``@rule`` registry of
+  request/config validators composed into per-workload
+  :class:`RuleSet`\\ s, so malformed requests fail at the door with one
+  structured :class:`~repro.errors.ValidationError` instead of a deep
+  ``SisaError`` (or a silent wrong answer) mid-execution.
+* :mod:`repro.serving.admission` — :class:`TenantQuota` +
+  :class:`AdmissionController`: deterministic admit/defer/reject
+  decisions on per-tenant queue depth and modeled-cycle budgets, and
+  the :class:`RetryPolicy` bounding drift recompiles and fault retries.
+* :mod:`repro.serving.faults` — a seeded :class:`FaultInjector` that
+  drives the degradation paths on purpose (stream drift, result-cache
+  corruption/eviction, orientation desync, kernel-stage exceptions).
+* :mod:`repro.serving.health` — the :class:`HealthSnapshot` /
+  :class:`TenantHealth` records behind ``pool.health()``.
+
+Modeled cycles for successful work are untouched by this package; only
+failure paths gain defined behavior.
+"""
+
+from repro.errors import AdmissionError, InjectedFault, ValidationError
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    RetryPolicy,
+    TenantQuota,
+)
+from repro.serving.faults import FaultInjector
+from repro.serving.health import HealthSnapshot, TenantHealth
+from repro.serving.validation import (
+    RequestContext,
+    RuleSet,
+    Violation,
+    available_rules,
+    default_rules,
+    resolve_execution_config,
+    rule,
+    validate_config_overrides,
+    validate_request,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "FaultInjector",
+    "HealthSnapshot",
+    "InjectedFault",
+    "RequestContext",
+    "RetryPolicy",
+    "RuleSet",
+    "TenantHealth",
+    "TenantQuota",
+    "ValidationError",
+    "Violation",
+    "available_rules",
+    "default_rules",
+    "resolve_execution_config",
+    "rule",
+    "validate_config_overrides",
+    "validate_request",
+]

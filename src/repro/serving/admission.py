@@ -1,0 +1,206 @@
+"""Per-tenant admission control and the bounded retry policy.
+
+PR 5 made ``tenant_cycles`` a fairness *ledger*; this module makes it
+an admission-control *input*.  A :class:`TenantQuota` bounds what one
+tenant may queue (``max_queue_depth``) and spend (``cycle_budget``, in
+modeled work cycles — the same currency the pool ledgers); the
+:class:`AdmissionController` turns the quota plus the observed state
+into a deterministic :class:`AdmissionDecision`:
+
+* ``admit`` — queue the plan now;
+* ``defer`` — the tenant's pending queue is full but its deferral
+  window is not: the plan parks in the pool's deferred queue and is
+  promoted (in deferral order) when the queue drains at the next
+  ``run()``;
+* ``reject`` — the tenant's cycle budget is exhausted, or both queues
+  are full; ``pool.submit`` raises
+  :class:`~repro.errors.AdmissionError` with the limit and observed
+  value in ``details``.
+
+Budget semantics (the invariant tests and the robustness soak assert):
+a tenant's *spent* cycles are its useful ledger plus its charged retry
+cycles; no plan is admitted — and under the hardened run path no
+queued plan even *starts* — once spent >= budget, so the ledger can
+overshoot the budget by at most the cost of the single plan that
+crossed it.  Decisions never depend on wall-clock or randomness, so a
+replayed submission sequence reproduces the same admit/defer/reject
+trace bit for bit.
+
+:class:`RetryPolicy` is the execution-side counterpart: it bounds how
+many times the hardened pool re-attempts a faulted plan and whether
+stream-drifted plans are recompiled, with every failed attempt's
+modeled cycles charged to the owning tenant's retry ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant may queue and spend.
+
+    ``None`` disables a limit.  ``cycle_budget`` is in modeled work
+    cycles (the ``pool.tenant_cycles`` currency); ``max_queue_depth``
+    bounds the tenant's plans pending between ``run()`` calls;
+    ``max_deferred`` bounds its parked overflow plans.
+    """
+
+    cycle_budget: float | None = None
+    max_queue_depth: int | None = None
+    max_deferred: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cycle_budget is not None and self.cycle_budget <= 0:
+            raise ConfigError("cycle_budget must be positive (or None)")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ConfigError("max_queue_depth must be positive (or None)")
+        if self.max_deferred < 0:
+            raise ConfigError("max_deferred must be non-negative")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One deterministic admission outcome."""
+
+    action: str  # "admit" | "defer" | "reject"
+    tenant: str
+    reason: str  # "ok" | "queue-full" | "budget-exhausted"
+    details: dict = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == "admit"
+
+
+class AdmissionController:
+    """Deterministic admit/defer/reject decisions from per-tenant
+    quotas plus the observed queue and ledger state."""
+
+    def __init__(
+        self,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        *,
+        default_quota: TenantQuota | None = None,
+    ):
+        self.quotas = dict(quotas or {})
+        for tenant, quota in self.quotas.items():
+            if not isinstance(quota, TenantQuota):
+                raise ConfigError(
+                    f"quota for tenant {tenant!r} must be a TenantQuota"
+                )
+        self.default_quota = default_quota
+        self.admissions: dict[str, int] = {}
+        self.deferrals: dict[str, int] = {}
+        self.rejections: dict[str, int] = {}
+        self.reject_reasons: dict[str, int] = {}
+
+    def quota(self, tenant: str) -> TenantQuota | None:
+        """The quota governing ``tenant`` (named, else the default,
+        else ``None`` = unlimited)."""
+        return self.quotas.get(tenant, self.default_quota)
+
+    def budget_exhausted(self, tenant: str, spent: float) -> bool:
+        quota = self.quota(tenant)
+        return (
+            quota is not None
+            and quota.cycle_budget is not None
+            and spent >= quota.cycle_budget
+        )
+
+    def decide(
+        self,
+        tenant: str,
+        *,
+        queued: int,
+        deferred: int,
+        spent: float,
+    ) -> AdmissionDecision:
+        """Decide one submission; records the outcome in the
+        controller's counters."""
+        quota = self.quota(tenant)
+        decision = self._decide(tenant, quota, queued, deferred, spent)
+        if decision.action == "admit":
+            self.admissions[tenant] = self.admissions.get(tenant, 0) + 1
+        elif decision.action == "defer":
+            self.deferrals[tenant] = self.deferrals.get(tenant, 0) + 1
+        else:
+            self.rejections[tenant] = self.rejections.get(tenant, 0) + 1
+            self.reject_reasons[decision.reason] = (
+                self.reject_reasons.get(decision.reason, 0) + 1
+            )
+        return decision
+
+    def _decide(
+        self,
+        tenant: str,
+        quota: TenantQuota | None,
+        queued: int,
+        deferred: int,
+        spent: float,
+    ) -> AdmissionDecision:
+        if quota is None:
+            return AdmissionDecision("admit", tenant, "ok")
+        if quota.cycle_budget is not None and spent >= quota.cycle_budget:
+            return AdmissionDecision(
+                "reject",
+                tenant,
+                "budget-exhausted",
+                {
+                    "cycle_budget": quota.cycle_budget,
+                    "spent_cycles": spent,
+                },
+            )
+        if quota.max_queue_depth is not None and queued >= quota.max_queue_depth:
+            if deferred < quota.max_deferred:
+                return AdmissionDecision(
+                    "defer",
+                    tenant,
+                    "queue-full",
+                    {
+                        "max_queue_depth": quota.max_queue_depth,
+                        "queued": queued,
+                        "deferred": deferred,
+                    },
+                )
+            return AdmissionDecision(
+                "reject",
+                tenant,
+                "queue-full",
+                {
+                    "max_queue_depth": quota.max_queue_depth,
+                    "queued": queued,
+                    "max_deferred": quota.max_deferred,
+                    "deferred": deferred,
+                },
+            )
+        return AdmissionDecision("admit", tenant, "ok")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the hardened pool's per-plan recovery.
+
+    ``max_retries`` is the number of *extra* execution attempts after
+    the first (so a plan executes at most ``max_retries + 1`` times);
+    ``recompile_on_drift`` controls whether a stream-drifted plan is
+    recompiled at the current version (the alternative is a structured
+    ``FailedResult`` with reason ``"drift"``).  Every failed attempt's
+    modeled cycles are charged to the owning tenant's retry ledger, so
+    retries spend budget exactly like useful work.
+    """
+
+    max_retries: int = 2
+    recompile_on_drift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1

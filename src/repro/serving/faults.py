@@ -1,0 +1,198 @@
+"""Seeded fault injection for soak-testing the hardened pool.
+
+The degradation paths in :class:`~repro.session.pool.SessionPool` —
+drift recompiles, cache recompute, orientation resync, per-plan retry
+— are only trustworthy if they are exercised on purpose.  A
+:class:`FaultInjector` is handed to the pool and drives them from one
+seeded ``numpy`` generator, so a soak run's entire fault schedule is
+reproducible from ``(seed, rates)``.
+
+Fault kinds and how each is made *recoverable by construction*:
+
+* ``drift`` — inserts and immediately deletes one deterministically
+  chosen **absent** edge on the session's stream.  Membership is
+  restored bit-identically, but ``mutations`` advances twice, so every
+  plan pinned to the old version goes stale exactly as a real
+  concurrent update burst would — without changing any answer.
+* ``cache`` — evicts one result-cache entry (degrade to recompute) or
+  corrupts one in place (exercises the cache's fingerprint
+  verification: the poisoned entry must be detected and recomputed,
+  never served).
+* ``orientation`` — marks the session's orientation maintainer
+  desynced, as if raw updates bypassed it; the next oriented workload
+  degrades to a charged ``resync()``.
+* ``kernel`` — raises :class:`~repro.errors.InjectedFault` from inside
+  a plan's kernel stage, forcing the pool's isolation + retry path.
+
+``max_per_kind`` bounds how many faults of each kind fire over the
+injector's lifetime.  Setting it below the pool's retry allowance
+guarantees every plan eventually runs clean — the property the
+fault-equivalence test and the robustness soak rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InjectedFault
+
+FAULT_KINDS = ("drift", "cache", "orientation", "kernel")
+
+
+class FaultInjector:
+    """Deterministic, rate-driven fault source for pool soak runs."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drift_rate: float = 0.0,
+        cache_rate: float = 0.0,
+        kernel_rate: float = 0.0,
+        orientation_rate: float = 0.0,
+        max_per_kind: int | None = None,
+    ):
+        from repro.errors import ConfigError
+
+        rates = {
+            "drift": drift_rate,
+            "cache": cache_rate,
+            "kernel": kernel_rate,
+            "orientation": orientation_rate,
+        }
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"{kind}_rate must be in [0, 1], got {rate!r}"
+                )
+        if max_per_kind is not None and max_per_kind < 0:
+            raise ConfigError("max_per_kind must be non-negative")
+        self.seed = int(seed)
+        self.rates = rates
+        self.max_per_kind = max_per_kind
+        self.rng = np.random.default_rng(self.seed)
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _should(self, kind: str) -> bool:
+        """One seeded coin flip for ``kind``, honoring the per-kind cap.
+
+        The generator is only consumed when the kind is enabled, so a
+        schedule with e.g. only drift faults is unaffected by the cache
+        rate being zero vs. absent."""
+        rate = self.rates[kind]
+        if rate <= 0.0:
+            return False
+        if (
+            self.max_per_kind is not None
+            and self.injected[kind] >= self.max_per_kind
+        ):
+            return False
+        if self.rng.random() >= rate:
+            return False
+        self.injected[kind] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Hooks (called by SessionPool / PlanExecutor)
+    # ------------------------------------------------------------------
+
+    def before_batch(self, session, plans) -> None:
+        """Fired once per session group before its plans execute:
+        may drift the stream (staling every pinned plan) and/or desync
+        the orientation maintainer."""
+        if self._should("drift"):
+            self.inject_drift(session)
+        if self._should("orientation"):
+            self.inject_orientation_desync(session)
+
+    def before_plan(self, session, plan) -> None:
+        """Fired before each isolated plan attempt: may drift the
+        stream again (forcing a recompile-and-retry) and/or damage the
+        result cache."""
+        if self._should("drift"):
+            self.inject_drift(session)
+        if self._should("cache"):
+            self.inject_cache_fault(session)
+
+    def on_stage(self, plan, stage: str) -> None:
+        """Fired at each kernel-stage boundary inside the executor;
+        raises :class:`InjectedFault` when a kernel fault fires."""
+        if self._should("kernel"):
+            raise InjectedFault(
+                f"injected kernel fault in stage {stage!r} of "
+                f"workload {plan.name!r}",
+                details={
+                    "kind": "kernel",
+                    "stage": stage,
+                    "workload": plan.name,
+                    "tenant": plan.tenant,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Individual fault mechanics
+    # ------------------------------------------------------------------
+
+    def inject_drift(self, session) -> bool:
+        """Advance the session's stream version without changing its
+        membership: insert then delete one absent edge.  Returns True
+        if drift was actually applied (False when the session has no
+        stream or no absent edge could be found)."""
+        stream = getattr(session, "_stream", None)
+        if stream is None:
+            return False
+        edge = self._absent_edge(stream)
+        if edge is None:
+            return False
+        edges = np.array([edge], dtype=np.int64)
+        stream.apply_insertions(edges, canonical=True)
+        stream.apply_deletions(edges, canonical=True)
+        return True
+
+    def _absent_edge(self, stream):
+        """One canonical ``(u, v)`` edge currently absent from the
+        stream, chosen by the seeded generator (None if sampling and a
+        bounded scan both fail — e.g. a complete graph)."""
+        n = stream.num_vertices
+        if n < 2:
+            return None
+        for _ in range(32):
+            u, v = (int(x) for x in self.rng.integers(0, n, size=2))
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            cand = np.array([[u, v]], dtype=np.int64)
+            if stream.absent_edges(cand).shape[0]:
+                return (u, v)
+        for u in range(n - 1):
+            vs = np.arange(u + 1, n, dtype=np.int64)
+            cand = np.column_stack([np.full_like(vs, u), vs])
+            absent = stream.absent_edges(cand)
+            if absent.shape[0]:
+                return (int(absent[0, 0]), int(absent[0, 1]))
+        return None
+
+    def inject_cache_fault(self, session) -> bool:
+        """Damage the session's result cache: corrupt one entry in
+        place (odd flips) or evict one (even flips).  Returns True if
+        an entry was actually touched."""
+        cache = getattr(session, "_results", None)
+        if cache is None or len(cache) == 0:
+            return False
+        if self.rng.integers(0, 2):
+            return cache.corrupt_one()
+        return cache.evict_one()
+
+    def inject_orientation_desync(self, session) -> bool:
+        """Mark the session's orientation maintainer out of sync, as if
+        raw stream updates bypassed it."""
+        maintainer = getattr(session, "orientation_maintainer", None)
+        if maintainer is None:
+            return False
+        maintainer.mark_desynced()
+        return True

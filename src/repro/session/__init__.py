@@ -31,13 +31,14 @@ from repro.session.registry import (
     get_workload,
     workload,
 )
-from repro.session.result import RunResult
+from repro.session.result import FailedResult, RunResult
 from repro.session.session import SisaSession, run_workload
 
 __all__ = [
     "BurstUnit",
     "CacheStats",
     "ExecutionConfig",
+    "FailedResult",
     "PlanExecutor",
     "PlanStage",
     "ResultCache",

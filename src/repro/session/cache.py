@@ -17,6 +17,7 @@ rather than risking a false hit.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -33,6 +34,7 @@ class CacheStats:
     skips: int = 0  # uncacheable runs (views, callables, odd params)
     invalidations: int = 0  # entries dropped by explicit invalidation
     evictions: int = 0  # entries dropped by the LRU size bound
+    corruptions: int = 0  # entries failing fingerprint verification
 
 
 def isolate_output(value: Any):
@@ -107,6 +109,70 @@ def canonical_param(value: Any):
     return None
 
 
+def fingerprint(value: Any) -> str:
+    """A stable content digest of a cached output.
+
+    Computed at ``put`` time and re-verified on every ``get``: an entry
+    whose bytes changed underneath us — bitrot in a real system,
+    :meth:`ResultCache.corrupt_one` in a soak — fails the check and is
+    treated as a miss, so a poisoned entry is recomputed rather than
+    served.  Unlike :func:`canonical_param` this never gives up: values
+    it cannot encode structurally are folded in by ``repr``, which is
+    sufficient for tamper *detection* (the digest only has to be
+    deterministic for equal state, not collision-proof across types).
+    """
+    digest = hashlib.sha1()
+    _feed(digest, value)
+    return digest.hexdigest()
+
+
+def _feed(digest, value: Any) -> None:
+    if isinstance(value, np.ndarray):
+        digest.update(b"nd")
+        digest.update(repr(value.shape).encode())
+        digest.update(value.dtype.str.encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, dict):
+        digest.update(b"map")
+        for k in sorted(value, key=repr):
+            digest.update(repr(k).encode())
+            _feed(digest, value[k])
+    elif isinstance(value, (list, tuple)):
+        digest.update(f"seq{type(value).__name__}".encode())
+        for v in value:
+            _feed(digest, v)
+    elif isinstance(value, (set, frozenset)):
+        digest.update(b"set")
+        for part in sorted((fingerprint(v) for v in value)):
+            digest.update(part.encode())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        digest.update(type(value).__name__.encode())
+        for f in dataclasses.fields(value):
+            _feed(digest, getattr(value, f.name))
+    else:
+        digest.update(repr(value).encode())
+
+
+def _tamper(value: Any) -> Any:
+    """A damaged copy of a cached output (fault injection only): the
+    first non-empty array gets one element flipped; array-free outputs
+    are wrapped so their repr changes."""
+    if isinstance(value, np.ndarray):
+        if value.size and value.dtype.kind in "iufb":
+            out = value.copy()
+            flat = out.reshape(-1)
+            flat[0] = 0 if flat[0] else 1
+            return out
+        return value
+    if isinstance(value, list):
+        return [_tamper(v) for v in value]
+    if isinstance(value, tuple) and not hasattr(value, "_fields"):
+        return tuple(_tamper(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tamper(v) for k, v in value.items()}
+    return ("corrupted", value)
+
+
 class ResultCache:
     """A bounded LRU cache of workload outputs keyed on
     ``(workload, canonical params, stream version)``."""
@@ -132,21 +198,56 @@ class ResultCache:
     def get(self, key: tuple) -> Any:
         """The cached output wrapper for ``key`` (``None`` on miss);
         refreshes LRU order on hit.  Array state is copied out, so
-        callers cannot poison the entry."""
+        callers cannot poison the entry.  The entry's content digest is
+        re-verified first: a corrupted entry is dropped and counted,
+        and the caller recomputes — degradation, not a wrong answer."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
+        output, digest = entry
+        if fingerprint(output) != digest:
+            del self._entries[key]
+            self.stats.corruptions += 1
+            self.stats.misses += 1
+            return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return (isolate_output(entry[0]),)
+        return (isolate_output(output),)
 
     def put(self, key: tuple, output: Any) -> None:
-        self._entries[key] = (isolate_output(output),)
+        stored = isolate_output(output)
+        self._entries[key] = (stored, fingerprint(stored))
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (serving soak tests)
+    # ------------------------------------------------------------------
+
+    def corrupt_one(self) -> bool:
+        """Tamper with the most-recently-used entry's stored output,
+        leaving its recorded digest untouched — the next hit on that
+        (hottest) key must detect the mismatch and degrade to a
+        recompute.  Returns True if an entry was damaged."""
+        if not self._entries:
+            return False
+        key = next(reversed(self._entries))
+        output, digest = self._entries[key]
+        self._entries[key] = (_tamper(output), digest)
+        return True
+
+    def evict_one(self) -> bool:
+        """Drop the least-recently-used entry (simulated capacity
+        pressure); the caller degrades to recompute.  Returns True if
+        an entry was dropped."""
+        if not self._entries:
+            return False
+        self._entries.popitem(last=False)
+        self.stats.evictions += 1
+        return True
 
     def invalidate(self, workload: str | None = None) -> int:
         """Drop every entry (or only one workload's entries).  Returns

@@ -56,10 +56,11 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from repro.errors import ConfigError, SisaError
+from repro.errors import ConfigError, InjectedFault, SisaError
+from repro.serving.validation import validate_request
 from repro.session.cache import canonical_param, isolate_output
-from repro.session.registry import WorkloadSpec, get_workload
-from repro.session.result import RunResult
+from repro.session.registry import WorkloadSpec
+from repro.session.result import FailedResult, RunResult
 
 BURST_KINDS = ("intersect", "union", "difference")
 
@@ -184,27 +185,14 @@ class WorkloadPlan:
         )
 
 
-_ACCEPTED_PARAMS: dict[Callable, frozenset | None] = {}
-
-
-def _accepted_params(spec: WorkloadSpec) -> frozenset | None:
-    """The keyword parameters ``spec.fn`` accepts (``None`` when the fn
-    takes ``**kwargs``), memoized per function."""
-    import inspect
-
-    cached = _ACCEPTED_PARAMS.get(spec.fn, False)
-    if cached is not False:
-        return cached
-    names = []
-    accepts_any = False
-    for i, p in enumerate(inspect.signature(spec.fn).parameters.values()):
-        if p.kind is inspect.Parameter.VAR_KEYWORD:
-            accepts_any = True
-        elif i > 0:  # skip the leading session argument
-            names.append(p.name)
-    result = None if accepts_any else frozenset(names)
-    _ACCEPTED_PARAMS[spec.fn] = result
-    return result
+def failure_reason(plan: WorkloadPlan, exc: BaseException) -> str:
+    """The stable :class:`FailedResult` reason tag for one execution
+    failure."""
+    if isinstance(exc, InjectedFault):
+        return "fault"
+    if isinstance(exc, SisaError) and plan.stale:
+        return "drift"
+    return "error"
 
 
 def compile_plan(
@@ -217,19 +205,13 @@ def compile_plan(
         raise ConfigError(
             "view runs are not plannable; use session.run(..., view=...)"
         )
-    spec = get_workload(workload)
     # A decomposed plan never calls spec.fn, so a misspelled parameter
     # the eager path would have rejected with TypeError must be caught
     # here — silently ignoring it would return a wrong result (e.g. a
-    # typo'd ``measur=`` scoring the default measure).
-    accepted = _accepted_params(spec)
-    if accepted is not None:
-        unknown = set(params) - accepted
-        if unknown:
-            raise ConfigError(
-                f"workload {spec.name!r} got unexpected parameter(s) "
-                f"{sorted(unknown)}; accepted: {sorted(accepted)}"
-            )
+    # typo'd ``measur=`` scoring the default measure).  The serving
+    # rule engine is the single door: name, signature and domain rules
+    # all run here (and on the eager paths) before any plan exists.
+    spec = validate_request(session, workload, params)
     stages = spec.stages(session, dict(params)) if spec.stages else None
     if stages is None:
         # Opaque fallback: the whole kernel runs as one call stage —
@@ -282,17 +264,32 @@ class PlanExecutor:
     macro may carry.
     """
 
-    def __init__(self, session, *, fuse: bool = True, fuse_width: int = 8):
+    def __init__(
+        self,
+        session,
+        *,
+        fuse: bool = True,
+        fuse_width: int = 8,
+        fault_injector=None,
+    ):
         if fuse_width < 1:
             raise ConfigError("fuse_width must be positive")
         self.session = session
         self.fuse = fuse
         self.fuse_width = fuse_width
+        # A serving FaultInjector (soak testing): its on_stage hook may
+        # raise InjectedFault at any stage boundary.
+        self.fault_injector = fault_injector
         # Burst fusion needs the SCU; the host baseline executes the
         # unfused batched stream (dedup/prep sharing still apply).
         self._fuse_bursts = fuse and session.ctx.mode == "sisa"
         self._done: dict[tuple, Any] = {}
         self._owners: dict[tuple, _PlanRun] = {}
+
+    def _inject(self, plan: WorkloadPlan, stage_label: str) -> None:
+        """Give the fault injector a shot at this stage boundary."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_stage(plan, stage_label)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -310,6 +307,40 @@ class PlanExecutor:
         if not self.fuse:
             return [self._execute_sequential(plan) for plan in plans]
         return self._execute_fused(plans)
+
+    def execute_isolated(
+        self, plans: list[WorkloadPlan]
+    ) -> list[RunResult | FailedResult]:
+        """Execute each plan in its own blast radius: a plan that
+        raises yields a structured :class:`FailedResult` in its slot
+        instead of aborting the batch.  No retries here — bounded retry
+        with cycle accounting is the :class:`SessionPool`'s job; this
+        is the session-level primitive underneath it.  Isolation costs
+        fusion *across* plans (each plan runs through its own
+        sub-executor), but in-plan dedup against the shared result
+        cache still applies."""
+        results: list[RunResult | FailedResult] = []
+        for plan in plans:
+            sub = PlanExecutor(
+                self.session,
+                fuse=self.fuse,
+                fuse_width=self.fuse_width,
+                fault_injector=self.fault_injector,
+            )
+            try:
+                results.append(sub.execute([plan])[0])
+            except Exception as exc:
+                results.append(
+                    FailedResult(
+                        workload=plan.name,
+                        params=dict(plan.params),
+                        tenant=plan.tenant,
+                        reason=failure_reason(plan, exc),
+                        error=exc,
+                        attempts=1,
+                    )
+                )
+        return results
 
     # ------------------------------------------------------------------
     # Sequential (reference) mode
@@ -349,6 +380,7 @@ class PlanExecutor:
         state: dict = {}
         value: Any = None
         for stage in plan.stages:
+            self._inject(plan, stage.label)
             if stage.kind == "call":
                 value = stage.run(session, state)
             else:
@@ -506,6 +538,7 @@ class PlanExecutor:
             # Call stages may register/release sets; drain deferred
             # bursts first so no unit observes mutated SM state.
             self._flush(buffer)
+            self._inject(plan, stage.label)
             with self._slice(run):
                 run.value = stage.run(self.session, run.state)
             run.stage_idx += 1
@@ -553,6 +586,7 @@ class PlanExecutor:
                 if owner is not None and owner is not run:
                     return False
                 self._owners[key] = run
+            self._inject(run.plan, stage.label)
             with self._attribute(run):
                 run.gen = stage.units(self.session, run.state)
         with self._attribute(run):

@@ -23,6 +23,33 @@ production deployment serves *many* graphs for *many* tenants at once.
   each session's batch round-robin across tenants so no tenant's plans
   monopolize a burst window, and charges every modeled cycle to its
   tenant (``pool.tenant_cycles``) via the engine's per-tenant marks.
+
+On top of that, the serving-hardening layer (:mod:`repro.serving`) is
+wired in at three points:
+
+* **Validation at the door** — every ``submit`` compiles through the
+  serving rule engine, so malformed requests raise one structured
+  :class:`~repro.errors.ValidationError` before a plan exists.
+* **Admission control** — with ``quotas``/``default_quota`` (or an
+  explicit :class:`~repro.serving.admission.AdmissionController`), each
+  ``submit`` gets a deterministic admit/defer/reject decision against
+  the tenant's :class:`~repro.serving.admission.TenantQuota`: rejected
+  submissions raise :class:`~repro.errors.AdmissionError`; deferred
+  plans park in a side queue and are promoted, oldest first, when the
+  tenant's queue drains at the next ``run()``.
+* **Fault isolation + bounded retry** — passing a
+  :class:`~repro.serving.admission.RetryPolicy` (and/or a
+  :class:`~repro.serving.faults.FaultInjector`) opts ``run()`` into the
+  *hardened* path: each plan executes in its own blast radius, stale
+  plans are recompiled at the current stream version, failed attempts
+  are retried up to the policy bound with every failed attempt's
+  modeled cycles charged to the owning tenant's retry ledger, and a
+  plan that exhausts its attempts (or its tenant's budget) yields a
+  structured :class:`~repro.session.result.FailedResult` in its result
+  slot instead of aborting the batch.  ``pool.health()`` snapshots the
+  degradation state.  Without those knobs ``run()`` keeps the strict
+  PR 5 semantics bit for bit — any stale plan fails the whole call
+  before work starts, and modeled cycles are unchanged.
 """
 
 from __future__ import annotations
@@ -30,11 +57,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import AdmissionError, ConfigError
+from repro.serving.admission import AdmissionController, RetryPolicy, TenantQuota
+from repro.serving.validation import resolve_execution_config
 from repro.session.config import ExecutionConfig
-from repro.session.plan import PlanExecutor, WorkloadPlan
-from repro.session.result import RunResult
+from repro.session.plan import (
+    PlanExecutor,
+    WorkloadPlan,
+    compile_plan,
+    failure_reason,
+)
+from repro.session.result import FailedResult, RunResult
 from repro.session.session import SisaSession
+
+_DEFAULT_RETRY = RetryPolicy()
 
 
 class SessionPool:
@@ -47,26 +83,57 @@ class SessionPool:
         max_sessions: int = 4,
         fuse: bool = True,
         fuse_width: int = 8,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        admission: AdmissionController | None = None,
+        retry: RetryPolicy | None = None,
+        fault_injector=None,
         **overrides: Any,
     ):
         if max_sessions <= 0:
             raise ConfigError("max_sessions must be positive")
-        if config is not None and overrides:
-            config = config.replace(**overrides)
-        elif config is None:
-            config = ExecutionConfig(**overrides)
+        # Override keys go through the serving rule engine: a typo'd
+        # knob raises ConfigError naming the bad key in ``details``.
+        config = resolve_execution_config(config, overrides)
+        if admission is not None and (quotas or default_quota is not None):
+            raise ConfigError(
+                "pass either an AdmissionController or quotas/default_quota, "
+                "not both"
+            )
+        if admission is None and (quotas or default_quota is not None):
+            admission = AdmissionController(quotas, default_quota=default_quota)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigError("retry must be a RetryPolicy")
         self.config = config
         self.max_sessions = max_sessions
         self.fuse = fuse
         self.fuse_width = fuse_width
+        self.admission = admission
+        self.retry = retry
+        self.fault_injector = fault_injector
         self._sessions: OrderedDict[Any, SisaSession] = OrderedDict()
         self._memos: dict[tuple, dict] = {}
         # Queued (submit_index, session_key, plan) triples.
         self._pending: list[tuple[int, Any, WorkloadPlan]] = []
+        # Admission-deferred triples, promoted at the next run().
+        self._deferred: list[tuple[int, Any, WorkloadPlan]] = []
         self._submitted = 0
         self._tenant_cycles: dict[str, float] = {}
+        self._tenant_retry_cycles: dict[str, float] = {}
         self._tenant_runs: dict[str, int] = {}
         self.evictions = 0
+        self._completed = 0
+        self._failed = 0
+        self._retries = 0
+        self._drift_recompiles = 0
+        self._wasted_cycles = 0.0
+
+    @property
+    def _hardened(self) -> bool:
+        """True when run() takes the isolation/retry path.  Opt-in via
+        the retry/fault_injector knobs — the default strict path keeps
+        the PR 5 all-or-nothing semantics bit for bit."""
+        return self.retry is not None or self.fault_injector is not None
 
     # ------------------------------------------------------------------
     # Session management
@@ -117,10 +184,11 @@ class SessionPool:
     def _evict(self) -> None:
         """Drop least-recently-used idle sessions past the bound.
 
-        Sessions with queued plans are pinned (their compiled plans
-        hold the session and its sets); the pool may transiently exceed
-        ``max_sessions`` until those drain."""
+        Sessions with queued or deferred plans are pinned (their
+        compiled plans hold the session and its sets); the pool may
+        transiently exceed ``max_sessions`` until those drain."""
         busy = {key for __, key, __ in self._pending}
+        busy.update(key for __, key, __ in self._deferred)
         while len(self._sessions) > self.max_sessions:
             victim = next(
                 (k for k in self._sessions if k not in busy), None
@@ -146,11 +214,39 @@ class SessionPool:
         """Compile ``workload`` against ``key``'s session and queue the
         plan under ``tenant``.  Returns the plan (its stream version is
         pinned now; a stream that advances before :meth:`run` makes the
-        plan fail fast)."""
-        from repro.session.plan import compile_plan
+        plan fail fast).
 
+        The request validates through the serving rule engine before a
+        plan exists (:class:`~repro.errors.ValidationError` on a bad
+        name, parameter or domain), then — when the pool has admission
+        control — through the tenant's quota: a rejected submission
+        raises :class:`~repro.errors.AdmissionError` and a deferred one
+        parks until the tenant's queue drains at the next :meth:`run`.
+        """
         session = self.session(key, graph)
         plan = compile_plan(session, workload, params, tenant=tenant)
+        if self.admission is not None:
+            decision = self.admission.decide(
+                tenant,
+                queued=self._tenant_queued(tenant),
+                deferred=self._tenant_deferred(tenant),
+                spent=self._spent(tenant),
+            )
+            if decision.action == "reject":
+                raise AdmissionError(
+                    f"tenant {tenant!r} submission rejected "
+                    f"({decision.reason}) for workload {workload!r}",
+                    details={
+                        "tenant": tenant,
+                        "workload": workload,
+                        "reason": decision.reason,
+                        **decision.details,
+                    },
+                )
+            if decision.action == "defer":
+                self._deferred.append((self._submitted, key, plan))
+                self._submitted += 1
+                return plan
         self._pending.append((self._submitted, key, plan))
         self._submitted += 1
         return plan
@@ -159,16 +255,76 @@ class SessionPool:
     def pending(self) -> int:
         return len(self._pending)
 
+    @property
+    def deferred(self) -> int:
+        """Plans parked by admission control, awaiting promotion."""
+        return len(self._deferred)
+
+    def _tenant_queued(self, tenant: str) -> int:
+        return sum(
+            1
+            for __, __, p in self._pending
+            if (p.tenant or "default") == tenant
+        )
+
+    def _tenant_deferred(self, tenant: str) -> int:
+        return sum(
+            1
+            for __, __, p in self._deferred
+            if (p.tenant or "default") == tenant
+        )
+
+    def _spent(self, tenant: str) -> float:
+        """The tenant's total budget draw: useful plus retry cycles."""
+        return self._tenant_cycles.get(tenant, 0.0) + self._tenant_retry_cycles.get(
+            tenant, 0.0
+        )
+
+    def _promote_deferred(self) -> None:
+        """Move parked plans into the main queue, oldest first, up to
+        each tenant's queue-depth limit and only while its budget
+        lasts.  Runs at the top of every :meth:`run`, so a drained
+        queue pulls deferred work in deterministically."""
+        if not self._deferred:
+            return
+        assert self.admission is not None  # plans only defer via admission
+        depth: dict[str, int] = {}
+        for __, __, p in self._pending:
+            t = p.tenant or "default"
+            depth[t] = depth.get(t, 0) + 1
+        still: list[tuple[int, Any, WorkloadPlan]] = []
+        promoted: list[tuple[int, Any, WorkloadPlan]] = []
+        for entry in self._deferred:
+            tenant = entry[2].tenant or "default"
+            quota = self.admission.quota(tenant)
+            if self.admission.budget_exhausted(tenant, self._spent(tenant)):
+                still.append(entry)
+                continue
+            if (
+                quota is not None
+                and quota.max_queue_depth is not None
+                and depth.get(tenant, 0) >= quota.max_queue_depth
+            ):
+                still.append(entry)
+                continue
+            depth[tenant] = depth.get(tenant, 0) + 1
+            promoted.append(entry)
+        if promoted:
+            self._pending = sorted(self._pending + promoted)
+            self._deferred = still
+
     def discard_stale(self) -> list[WorkloadPlan]:
-        """Drop queued plans whose stream drifted past their pinned
-        version (returns them, so callers can resubmit recompiled
-        replacements)."""
+        """Drop queued or deferred plans whose stream drifted past
+        their pinned version (returns them, so callers can resubmit
+        recompiled replacements)."""
         stale = [plan for __, __, plan in self._pending if plan.stale]
+        stale += [plan for __, __, plan in self._deferred if plan.stale]
         if stale:
             self._pending = [e for e in self._pending if not e[2].stale]
+            self._deferred = [e for e in self._deferred if not e[2].stale]
         return stale
 
-    def run(self) -> list[RunResult]:
+    def run(self) -> list[RunResult | FailedResult]:
         """Execute every queued plan; results in submission order.
 
         Per session, the batch is ordered round-robin across tenants
@@ -176,11 +332,28 @@ class SessionPool:
         first tenant's second plan, ...) so burst windows interleave
         fairly; each plan's modeled cycles are charged to its tenant.
 
-        Stale plans fail the whole call *before anything executes*
-        (nothing is dequeued; :meth:`discard_stale` drops them, or
-        resubmit recompiled plans).  On any other executor error, plans
-        that did not complete stay queued.
+        **Strict mode** (no retry policy, no fault injector — the
+        default): stale plans fail the whole call *before anything
+        executes* (nothing is dequeued; :meth:`discard_stale` drops
+        them, or resubmit recompiled plans).  On any other executor
+        error, plans that did not complete stay queued.
+
+        **Hardened mode** (a :class:`RetryPolicy` and/or
+        :class:`FaultInjector` was configured): each plan runs in its
+        own blast radius.  Stale plans are recompiled at the current
+        version, failed attempts are retried up to the policy bound
+        (failed-attempt cycles charged to the owning tenant's retry
+        ledger), budget-exhausted tenants' plans never start, and a
+        plan the pool gives up on yields a
+        :class:`~repro.session.result.FailedResult` in its slot — no
+        exception escapes for a plan failure.
         """
+        self._promote_deferred()
+        if self._hardened:
+            return self._run_hardened()
+        return self._run_strict()
+
+    def _run_strict(self) -> list[RunResult]:
         # Fail fast on drift before any tenant's work starts — one
         # tenant's stale plan must not cost another tenant's computed
         # results.
@@ -202,13 +375,7 @@ class SessionPool:
                     ordered, executor.execute([plan for __, plan in ordered])
                 ):
                     results[idx] = result
-                    tenant = plan.tenant or "default"
-                    self._tenant_cycles[tenant] = self._tenant_cycles.get(
-                        tenant, 0.0
-                    ) + _work_cycles(result)
-                    self._tenant_runs[tenant] = (
-                        self._tenant_runs.get(tenant, 0) + 1
-                    )
+                    self._charge(plan.tenant or "default", result)
         except BaseException:
             # Re-queue everything that has no result yet, ahead of any
             # plans submitted by an exception handler in the meantime.
@@ -218,6 +385,131 @@ class SessionPool:
             raise
         self._evict()
         return [results[idx] for idx, __, __ in pending]
+
+    def _run_hardened(self) -> list[RunResult | FailedResult]:
+        pending, self._pending = self._pending, []
+        by_session: OrderedDict[Any, list] = OrderedDict()
+        for idx, key, plan in pending:
+            by_session.setdefault(key, []).append((idx, plan))
+        results: dict[int, RunResult | FailedResult] = {}
+        try:
+            for key, entries in by_session.items():
+                session = self._sessions[key]
+                ordered = _round_robin_by_tenant(entries)
+                if self.fault_injector is not None:
+                    self.fault_injector.before_batch(
+                        session, [plan for __, plan in ordered]
+                    )
+                for idx, plan in ordered:
+                    results[idx] = self._run_plan_hardened(session, plan)
+        except BaseException:
+            # Only non-recoverable interrupts reach here (plan failures
+            # become FailedResults); keep unfinished work queued.
+            self._pending = [
+                e for e in pending if e[0] not in results
+            ] + self._pending
+            raise
+        self._evict()
+        return [results[idx] for idx, __, __ in pending]
+
+    def _run_plan_hardened(
+        self, session: SisaSession, plan: WorkloadPlan
+    ) -> RunResult | FailedResult:
+        """One plan, isolated: budget gate → (re)compile if stale →
+        attempt → on failure charge the wasted cycles to the tenant's
+        retry ledger and try again, up to the policy bound."""
+        tenant = plan.tenant or "default"
+        retry = self.retry if self.retry is not None else _DEFAULT_RETRY
+        injector = self.fault_injector
+        current = plan
+        attempts = 0
+        plan_retry_cycles = 0.0
+        last_exc: BaseException | None = None
+        while attempts < retry.max_attempts:
+            if self.admission is not None and self.admission.budget_exhausted(
+                tenant, self._spent(tenant)
+            ):
+                self._failed += 1
+                return FailedResult(
+                    workload=plan.name,
+                    params=dict(plan.params),
+                    tenant=plan.tenant,
+                    reason="budget-exhausted",
+                    error=last_exc,
+                    attempts=attempts,
+                    retry_cycles=plan_retry_cycles,
+                    details={
+                        "tenant": tenant,
+                        "spent_cycles": self._spent(tenant),
+                        "cycle_budget": self.admission.quota(tenant).cycle_budget,
+                    },
+                )
+            if current.stale:
+                if not retry.recompile_on_drift:
+                    self._failed += 1
+                    return FailedResult(
+                        workload=plan.name,
+                        params=dict(plan.params),
+                        tenant=plan.tenant,
+                        reason="drift",
+                        error=last_exc,
+                        attempts=attempts,
+                        retry_cycles=plan_retry_cycles,
+                        details={
+                            "pinned_version": current.version,
+                            "stream_version": session._version,
+                        },
+                    )
+                current = compile_plan(
+                    session,
+                    current.name,
+                    dict(current.params),
+                    tenant=current.tenant,
+                )
+                self._drift_recompiles += 1
+            if injector is not None:
+                injector.before_plan(session, current)
+            mark = session.ctx.mark()
+            executor = PlanExecutor(
+                session,
+                fuse=self.fuse,
+                fuse_width=self.fuse_width,
+                fault_injector=injector,
+            )
+            try:
+                (result,) = executor.execute([current])
+            except Exception as exc:
+                attempts += 1
+                last_exc = exc
+                wasted = _report_work_cycles(session.ctx.report_since(mark))
+                plan_retry_cycles += wasted
+                self._wasted_cycles += wasted
+                self._tenant_retry_cycles[tenant] = (
+                    self._tenant_retry_cycles.get(tenant, 0.0) + wasted
+                )
+                if attempts < retry.max_attempts:
+                    self._retries += 1
+                continue
+            self._charge(tenant, result)
+            return result
+        self._failed += 1
+        return FailedResult(
+            workload=plan.name,
+            params=dict(plan.params),
+            tenant=plan.tenant,
+            reason=failure_reason(current, last_exc),
+            error=last_exc,
+            attempts=attempts,
+            retry_cycles=plan_retry_cycles,
+            details={"tenant": tenant, "max_attempts": retry.max_attempts},
+        )
+
+    def _charge(self, tenant: str, result: RunResult) -> None:
+        self._tenant_cycles[tenant] = self._tenant_cycles.get(
+            tenant, 0.0
+        ) + _work_cycles(result)
+        self._tenant_runs[tenant] = self._tenant_runs.get(tenant, 0) + 1
+        self._completed += 1
 
     # ------------------------------------------------------------------
     # Accounting
@@ -230,9 +522,77 @@ class SessionPool:
         return dict(self._tenant_cycles)
 
     @property
+    def tenant_retry_cycles(self) -> dict[str, float]:
+        """Modeled cycles each tenant spent on failed attempts (also
+        counted against its budget)."""
+        return dict(self._tenant_retry_cycles)
+
+    @property
     def tenant_runs(self) -> dict[str, int]:
         """Plans completed per tenant."""
         return dict(self._tenant_runs)
+
+    def health(self):
+        """One immutable :class:`~repro.serving.health.HealthSnapshot`
+        of the pool: queues, failure/retry/degradation counters,
+        injector tallies, per-session cache and orientation state, and
+        each tenant's budget position."""
+        from repro.serving.health import HealthSnapshot, TenantHealth
+
+        cache_corruptions = 0
+        cache_evictions = 0
+        orientation_resyncs = 0
+        for session in self._sessions.values():
+            stats = session.cache_stats
+            cache_corruptions += stats.corruptions
+            cache_evictions += stats.evictions
+            maintainer = session.orientation_maintainer
+            if maintainer is not None:
+                orientation_resyncs += maintainer.stats.resyncs
+        names = set(self._tenant_cycles) | set(self._tenant_retry_cycles)
+        names.update(p.tenant or "default" for __, __, p in self._pending)
+        names.update(p.tenant or "default" for __, __, p in self._deferred)
+        rejections: dict[str, int] = {}
+        if self.admission is not None:
+            rejections = self.admission.rejections
+            names.update(rejections)
+        tenants = []
+        for name in sorted(names):
+            quota = (
+                self.admission.quota(name) if self.admission is not None else None
+            )
+            tenants.append(
+                TenantHealth(
+                    tenant=name,
+                    cycles=self._tenant_cycles.get(name, 0.0),
+                    retry_cycles=self._tenant_retry_cycles.get(name, 0.0),
+                    queued=self._tenant_queued(name),
+                    deferred=self._tenant_deferred(name),
+                    rejections=rejections.get(name, 0),
+                    cycle_budget=quota.cycle_budget if quota is not None else None,
+                )
+            )
+        injected = (
+            dict(self.fault_injector.injected)
+            if self.fault_injector is not None
+            else {}
+        )
+        return HealthSnapshot(
+            sessions=len(self._sessions),
+            pending=len(self._pending),
+            deferred=len(self._deferred),
+            completed=self._completed,
+            failed=self._failed,
+            retries=self._retries,
+            drift_recompiles=self._drift_recompiles,
+            wasted_cycles=self._wasted_cycles,
+            rejections=sum(rejections.values()),
+            cache_corruptions=cache_corruptions,
+            cache_evictions=cache_evictions,
+            orientation_resyncs=orientation_resyncs,
+            injected_faults=injected,
+            tenants=tuple(tenants),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
@@ -257,11 +617,16 @@ def _round_robin_by_tenant(entries):
     return ordered
 
 
-def _work_cycles(result: RunResult) -> float:
-    """Total modeled work attributed to one plan run: all lanes summed
-    plus the run's sequential overhead (``runtime_cycles`` folds the
-    latter on top of the slowest lane).  This is the fairness currency;
-    the makespan lives in ``report.runtime_cycles``."""
-    lanes = result.report.lane_times
-    sequential = result.report.runtime_cycles - (max(lanes) if lanes else 0.0)
+def _report_work_cycles(report) -> float:
+    """Total modeled work in one engine report delta: all lanes summed
+    plus the sequential overhead (``runtime_cycles`` folds the latter
+    on top of the slowest lane)."""
+    lanes = report.lane_times
+    sequential = report.runtime_cycles - (max(lanes) if lanes else 0.0)
     return float(sum(lanes) + sequential)
+
+
+def _work_cycles(result: RunResult) -> float:
+    """Total modeled work attributed to one plan run.  This is the
+    fairness currency; the makespan lives in ``report.runtime_cycles``."""
+    return _report_work_cycles(result.report)

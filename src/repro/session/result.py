@@ -64,3 +64,54 @@ class RunResult:
     def context(self):
         """The owning session's context (whole-session state)."""
         return self.session.ctx
+
+    @property
+    def ok(self) -> bool:
+        """True — this run completed.  Mirror of
+        :attr:`FailedResult.ok` so pool batches can be filtered
+        uniformly."""
+        return True
+
+
+@dataclass
+class FailedResult:
+    """The structured record of a plan the hardened pool gave up on.
+
+    Under fault isolation a failed plan no longer aborts its batch;
+    its slot in the ``pool.run()`` result list holds one of these
+    instead.  ``reason`` is a stable machine-readable tag:
+
+    * ``"fault"`` — an injected kernel fault survived every retry;
+    * ``"drift"`` — the plan's pinned stream version went stale and the
+      retry policy forbade (or exhausted) recompiles;
+    * ``"budget-exhausted"`` — the owning tenant's cycle budget ran out
+      before the plan started;
+    * ``"error"`` — any other execution-time exception.
+
+    ``retry_cycles`` is the modeled work spent on this plan's failed
+    attempts — already charged to the owning tenant's retry ledger.
+    """
+
+    workload: str
+    params: dict[str, Any]
+    tenant: str
+    reason: str
+    error: BaseException | None = None
+    attempts: int = 0  # execution attempts made (0 = never started)
+    retry_cycles: float = 0.0
+    details: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def message(self) -> str:
+        return str(self.error) if self.error is not None else self.reason
+
+    def __repr__(self) -> str:  # keep batch dumps readable
+        return (
+            f"FailedResult(workload={self.workload!r}, "
+            f"tenant={self.tenant!r}, reason={self.reason!r}, "
+            f"attempts={self.attempts})"
+        )

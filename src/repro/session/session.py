@@ -30,6 +30,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.digraph import DiGraph, orient_by_order
 from repro.graphs.orientation import DegeneracyResult, degeneracy_order
 from repro.runtime.setgraph import SetGraph
+from repro.serving.validation import resolve_execution_config, validate_request
 from repro.session.cache import CacheStats, ResultCache
 from repro.session.config import ExecutionConfig
 from repro.session.registry import WorkloadSpec, get_workload
@@ -59,10 +60,11 @@ class SisaSession:
         decision_memo: dict | None = None,
         **overrides: Any,
     ):
-        if config is not None and overrides:
-            config = config.replace(**overrides)
-        elif config is None:
-            config = ExecutionConfig(**overrides)
+        # Override keys are validated by the serving rule engine before
+        # any dataclass machinery sees them: a typo'd knob fails with a
+        # ConfigError naming the bad key in ``details`` instead of a
+        # bare TypeError (one code path shared with SessionPool).
+        config = resolve_execution_config(config, overrides)
         self.graph = graph
         self.config = config
         # ``decision_memo`` lets a SessionPool share one SCU decision
@@ -386,6 +388,8 @@ class SisaSession:
         *,
         fuse: bool = True,
         fuse_width: int = 8,
+        isolate: bool = False,
+        fault_injector=None,
     ) -> list[RunResult]:
         """Execute a batch of plans and return their
         :class:`RunResult`\\ s in batch order.
@@ -398,6 +402,15 @@ class SisaSession:
         compatible count-form frontier bursts from different plans into
         shared macro dispatches; with ``fuse=False`` the batch executes
         plan by plan, bit-identical to sequential :meth:`run` calls.
+
+        ``isolate=True`` gives each plan its own blast radius: a plan
+        that raises yields a structured
+        :class:`~repro.session.result.FailedResult` in its slot instead
+        of aborting the batch (no retries — that is the
+        :class:`~repro.session.pool.SessionPool`'s job).
+        ``fault_injector`` threads a serving
+        :class:`~repro.serving.faults.FaultInjector` into the executor
+        for soak testing.
         """
         from repro.session.plan import PlanExecutor, WorkloadPlan
 
@@ -410,7 +423,14 @@ class SisaSession:
             else:
                 name, params = item
                 compiled.append(self.compile(name, **params))
-        executor = PlanExecutor(self, fuse=fuse, fuse_width=fuse_width)
+        executor = PlanExecutor(
+            self,
+            fuse=fuse,
+            fuse_width=fuse_width,
+            fault_injector=fault_injector,
+        )
+        if isolate:
+            return executor.execute_isolated(compiled)
         return executor.execute(compiled)
 
     def run(
@@ -456,18 +476,21 @@ class SisaSession:
                 raise ConfigError(
                     "registered workloads take keyword parameters only"
                 )
-            spec = get_workload(workload)
-            name = spec.name
-            if view is not None and not spec.view_capable:
-                raise ConfigError(
-                    f"workload {name!r} cannot run against a view"
-                )
             if view is None:
                 from repro.session.plan import PlanExecutor, compile_plan
 
-                plan = compile_plan(self, name, params)
+                plan = compile_plan(self, workload, params)
                 (result,) = PlanExecutor(self, fuse=False).execute([plan])
                 return result
+            # View runs bypass planning but not the door: the same rule
+            # engine that guards compile_plan validates the name,
+            # signature and parameter domains here.
+            spec = validate_request(self, workload, params)
+            name = spec.name
+            if not spec.view_capable:
+                raise ConfigError(
+                    f"workload {name!r} cannot run against a view"
+                )
             warm = self._is_warm(spec, view, params)
             mark = self.ctx.mark()
             output = spec.fn(self, view=view, **params)

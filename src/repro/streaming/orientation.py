@@ -296,6 +296,14 @@ class IncrementalOrientation(StreamMaintainer):
         self.stats.resyncs += 1
         self._repeel(self.dynamic)
 
+    def mark_desynced(self) -> None:
+        """Declare the maintained orientation untrusted without
+        touching it, as if raw updates had bypassed the hooks.  The
+        next oriented-structure access degrades to a charged
+        :meth:`resync` — the serving fault injector uses this to
+        exercise that path on demand."""
+        self._synced_mutations = -1
+
     # ------------------------------------------------------------------
     # Verification (model-internal, test support)
     # ------------------------------------------------------------------

@@ -420,10 +420,22 @@ class TestFusedExecution:
         session = SisaSession(_graph(), ExecutionConfig(threads=8))
         plans = [
             session.compile("triangles"),
-            session.compile("fsm", sigma=-2.0),  # invalid: fn raises
+            session.compile("fsm", sigma=0.5),
         ]
+
+        # Malformed params now fail at compile (the serving rule
+        # engine), so force the mid-batch failure with a stage fault on
+        # the second plan instead: the first plan has already executed
+        # attributed slices when the batch dies.
+        class _FailSecondPlan:
+            def on_stage(self, plan, stage):
+                if plan.name == "fsm":
+                    raise SisaError("injected mid-batch failure")
+
         with pytest.raises(Exception):
-            session.run_many(plans, fuse=True)
+            session.run_many(
+                plans, fuse=True, fault_injector=_FailSecondPlan()
+            )
         assert session.ctx.engine._tenants == {}
         # The session still serves follow-up batches normally.
         (tri,) = session.run_many(["triangles"], fuse=True)

@@ -38,7 +38,7 @@ from repro.sets.bitops import popcount
 from repro.sets.dense import DenseBitvector
 from repro.sets.sparse import SparseArray
 
-from common import emit
+from common import emit, emit_json
 
 SCALE = int(os.environ.get("BENCH_BATCH_SCALE", "11"))
 EDGE_FACTOR = int(os.environ.get("BENCH_BATCH_EF", "8"))
@@ -243,6 +243,17 @@ def test_batch_dispatch_speedup(benchmark):
     emit("batch_dispatch", lambda: _render(graph, rows))
     total_legacy = sum(t["legacy"] for t in rows.values())
     total_batched = sum(t["batched"] for t in rows.values())
+    emit_json(
+        "batch_dispatch",
+        {
+            "speedup_vs_legacy": total_legacy / total_batched,
+            "kernels": {
+                name: {k: v * 1e3 for k, v in t.items()}
+                for name, t in rows.items()
+            },
+        },
+        floors={"min_speedup": MIN_SPEEDUP},
+    )
     assert total_legacy / total_batched >= MIN_SPEEDUP
 
     def batched_triangle_region():

@@ -44,7 +44,7 @@ from repro.streaming import (
     StreamingEngine,
 )
 
-from common import emit
+from common import emit, emit_json
 
 SCALE = int(os.environ.get("BENCH_ORIENT_SCALE", "10"))
 EDGE_FACTOR = int(os.environ.get("BENCH_ORIENT_EF", "8"))
@@ -157,6 +157,16 @@ def test_orientation_maintenance_speedup(benchmark):
     emit(
         "orientation_maintenance",
         lambda: _render(stream, rows, inc, inc_total, ref_total),
+    )
+    emit_json(
+        "orientation_maintenance",
+        {
+            "speedup": ref_total / inc_total,
+            "maintained_mcycles": inc_total / 1e6,
+            "repeel_mcycles": ref_total / 1e6,
+            "epochs": len(rows),
+        },
+        floors={"min_speedup": MIN_SPEEDUP},
     )
     # Floor on the modeled-cycle win (deterministic; per-epoch outputs
     # and zero-re-peel already asserted inside _run).

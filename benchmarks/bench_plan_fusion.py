@@ -35,7 +35,7 @@ import numpy as np
 from repro.graphs.generators import chung_lu_graph
 from repro.session import ExecutionConfig, SisaSession
 
-from common import emit
+from common import emit, emit_json
 
 N = int(os.environ.get("BENCH_PLAN_N", "4000"))
 M = int(os.environ.get("BENCH_PLAN_M", "16000"))
@@ -151,6 +151,16 @@ def test_plan_fusion_speedup(benchmark):
     emit(
         "plan_fusion",
         lambda: _render(graph, rows, total_seq, fused_cycles, macros),
+    )
+    emit_json(
+        "plan_fusion",
+        {
+            "speedup": total_seq / fused_cycles,
+            "sequential_mcycles": total_seq / 1e6,
+            "fused_mcycles": fused_cycles / 1e6,
+            "fused_macros": macros,
+        },
+        floors={"min_speedup": MIN_SPEEDUP},
     )
     assert total_seq / fused_cycles >= MIN_SPEEDUP
 

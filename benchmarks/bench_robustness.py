@@ -40,7 +40,7 @@ from repro.graphs.generators import gnp_random_graph
 from repro.serving import FaultInjector, RetryPolicy, TenantQuota
 from repro.session import ExecutionConfig, SessionPool
 
-from common import emit
+from common import emit, emit_json
 
 N = int(os.environ.get("BENCH_ROBUST_N", "150"))
 P = float(os.environ.get("BENCH_ROBUST_P", "0.06"))
@@ -80,13 +80,14 @@ def _schedule(rng):
     return subs
 
 
-def _pool(graph, injector):
+def _pool(graph, injector, observability=False):
     pool = SessionPool(
         ExecutionConfig(threads=THREADS),
         max_sessions=2,
         default_quota=TenantQuota(max_queue_depth=8, max_deferred=32),
         retry=RETRY,
         fault_injector=injector,
+        observability=observability,
     )
     # Arm every degradation path: drift needs a stream to advance, the
     # orientation desync needs a maintainer to mark out of sync.
@@ -106,10 +107,10 @@ def _drain(pool):
     raise AssertionError("soak failed to drain the pool")
 
 
-def _soak(graph, faulted: bool):
+def _soak(graph, faulted: bool, observability=False):
     """Run the full soak schedule; returns (pool, results, injected)."""
     rng = np.random.default_rng(SEED)
-    pool = _pool(graph, None)
+    pool = _pool(graph, None, observability=observability)
     injected = {}
     results = []
     for epoch in range(EPOCHS):
@@ -189,6 +190,20 @@ def test_robustness_soak(benchmark):
         lambda: _render(
             graph, pool, injected, completion, useful, retry, overhead
         ),
+    )
+    emit_json(
+        "robustness",
+        {
+            "completion_rate": completion,
+            "useful_mcycles": useful / 1e6,
+            "retry_mcycles": retry / 1e6,
+            "retry_overhead": overhead,
+            "injected_faults": injected,
+        },
+        floors={
+            "min_completion": MIN_COMPLETION,
+            "max_overhead": MAX_OVERHEAD,
+        },
     )
     assert completion >= MIN_COMPLETION
     assert overhead <= MAX_OVERHEAD

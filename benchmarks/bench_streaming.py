@@ -41,7 +41,7 @@ from repro.streaming import (
 )
 from repro.streaming.incremental import degrees_of
 
-from common import emit
+from common import emit, emit_json
 
 SCALE = int(os.environ.get("BENCH_STREAM_SCALE", "10"))
 EDGE_FACTOR = int(os.environ.get("BENCH_STREAM_EF", "8"))
@@ -150,6 +150,17 @@ def test_streaming_incremental_speedup(benchmark):
     emit(
         "streaming",
         lambda: _render(stream, pairs, bootstrap, rows, inc_total, full_total),
+    )
+    emit_json(
+        "streaming",
+        {
+            "speedup": full_total / inc_total,
+            "incremental_mcycles": inc_total / 1e6,
+            "full_recompute_mcycles": full_total / 1e6,
+            "bootstrap_mcycles": bootstrap / 1e6,
+            "epochs": len(rows),
+        },
+        floors={"min_speedup": MIN_SPEEDUP},
     )
     # Floor on the modeled-cycle win (deterministic; outputs already
     # asserted identical inside _run).

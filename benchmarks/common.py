@@ -10,6 +10,7 @@ capture.
 from __future__ import annotations
 
 import io
+import json
 from contextlib import redirect_stdout
 from pathlib import Path
 
@@ -52,6 +53,24 @@ def emit(name: str, render) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(text)
     return text
+
+
+def emit_json(name: str, metrics: dict, *, floors: dict | None = None) -> Path:
+    """Write one machine-readable benchmark record next to the text
+    render: ``benchmarks/results/BENCH_<name>.json``.
+
+    ``metrics`` holds the headline numbers a CI dashboard trends (keep
+    values JSON-native: numbers, strings, shallow containers);
+    ``floors`` echoes whatever acceptance thresholds the bench asserted
+    against, so a regression report can show how close each run came.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"bench": name, "metrics": metrics}
+    if floors:
+        record["floors"] = floors
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, default=str) + "\n")
+    return path
 
 
 # The Fig. 6 small-graph panel, trimmed to one representative per

@@ -92,6 +92,18 @@ class EngineReport:
         fracs = self.stall_fractions
         return sum(fracs) / len(fracs) if fracs else 0.0
 
+    @property
+    def work_cycles(self) -> float:
+        """Total modeled *work* in the region: the sum of per-lane busy
+        times plus the sequential overhead (``runtime`` minus the
+        longest lane).  This is the quantity session pools charge to
+        tenant ledgers — work consumed, not wall-parallel runtime."""
+        if not self.lane_times:
+            return self.runtime_cycles
+        return sum(self.lane_times) + (
+            self.runtime_cycles - max(self.lane_times)
+        )
+
 
 class ExecutionEngine:
     """Accumulates costs on lanes and computes simulated runtimes.
@@ -253,6 +265,15 @@ class ExecutionEngine:
             tasks=sum(lane.tasks for lane in lanes),
         )
 
+    def tenant_work_cycles(self, tag: object) -> float:
+        """One tenant's attributed work (sum of shadow-lane times plus
+        attributed sequential overhead) without building a report.
+        Cheap enough for span instrumentation to delta per plan stage."""
+        lanes = self._tenants.get(tag)
+        bpc = self.bytes_per_cycle
+        busy = sum(lane.time(bpc) for lane in lanes) if lanes else 0.0
+        return busy + self._tenant_seq.get(tag, 0.0)
+
     def drop_tenant(self, tag: object) -> None:
         """Forget one tenant's attributed charges."""
         self._tenants.pop(tag, None)
@@ -323,3 +344,13 @@ class ExecutionEngine:
     @property
     def runtime_cycles(self) -> float:
         return self.report().runtime_cycles
+
+    def work_cycles(self) -> float:
+        """Lifetime modeled work: sum of lane busy times plus the
+        sequential overhead.  Monotone and O(threads) to read, so span
+        instrumentation deltas it around plan stages."""
+        bpc = self.bytes_per_cycle
+        return (
+            sum(lane.time(bpc) for lane in self._lanes)
+            + self._sequential_overhead
+        )

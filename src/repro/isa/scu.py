@@ -145,6 +145,10 @@ class Scu:
         self.cpu = CpuBackend(cpu or CpuConfig())
         self.smb = LruCache(hw.smb_entries if smb_enabled else 0)
         self.stats = DispatchStats()
+        # Optional observability hub (repro.observability).  Nullable
+        # and observation-only: feeds mirror what stats already record,
+        # labeled by opcode/backend, and never affect costs.
+        self.obs = None
         # Dispatch memoizes (variant decision, model cost) per
         # operand-shape key.  The stored Cost is the exact object a
         # fresh computation would produce, so memoized and fresh
@@ -224,6 +228,8 @@ class Scu:
             op, a, b, output_size, count_only
         )
         self.stats.record(opcode)
+        if self.obs is not None:
+            self.obs.dispatch(opcode, backend)
         return Dispatch(
             opcode,
             backend,
@@ -379,6 +385,8 @@ class Scu:
             memory.append(cost.memory_bytes)
             latency.append(lat + cost.latency_cycles)
         stats.instructions += len(opcodes)
+        if self.obs is not None:
+            self.obs.dispatch_batch(opcodes, backends)
         return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
 
     def dispatch_binary_fused(
@@ -459,6 +467,10 @@ class Scu:
         stats.instructions += len(opcodes)
         if include_decode:
             stats.fused_macros += 1
+        if self.obs is not None:
+            self.obs.dispatch_batch(opcodes, backends)
+            if include_decode:
+                self.obs.fused_macro()
         return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
 
     def _dispatch_dense_pair(
@@ -577,6 +589,8 @@ class Scu:
         """|A| is O(1): the size lives in the metadata (Section 6.2.3)."""
         cost = self._metadata_cost(a.set_id)
         self.stats.record(Opcode.CARDINALITY)
+        if self.obs is not None:
+            self.obs.dispatch(Opcode.CARDINALITY, "scu")
         return Dispatch(Opcode.CARDINALITY, "scu", "metadata", cost)
 
     def dispatch_member(self, a: SetMeta) -> Dispatch:
@@ -594,6 +608,8 @@ class Scu:
         else:
             self.stats.pnm_ops += 1
         self.stats.record(Opcode.MEMBER)
+        if self.obs is not None:
+            self.obs.dispatch(Opcode.MEMBER, backend)
         return Dispatch(Opcode.MEMBER, backend, "membership", cost)
 
     def dispatch_element_update(self, a: SetMeta, *, insert: bool) -> Dispatch:
@@ -621,6 +637,8 @@ class Scu:
                 backend = "pnm"
             variant = "shift"
         self.stats.record(opcode)
+        if self.obs is not None:
+            self.obs.dispatch(opcode, backend)
         return Dispatch(opcode, backend, variant, cost)
 
     def dispatch_element_update_batch(
@@ -702,6 +720,8 @@ class Scu:
             memory.append(cost.memory_bytes)
             latency.append(lat + cost.latency_cycles)
         stats.instructions += len(opcodes)
+        if self.obs is not None:
+            self.obs.dispatch_batch(opcodes, backends)
         return BatchDispatch(opcodes, backends, variants, compute, memory, latency)
 
     def dispatch_create(self, size: int, *, dense: bool, universe: int) -> Dispatch:

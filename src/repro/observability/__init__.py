@@ -1,0 +1,39 @@
+"""End-to-end observability for the SISA serving stack.
+
+One :class:`Observability` hub per pool bundles a bounded
+:class:`MetricsRegistry`, a :class:`SpanRecorder` (request-scoped
+``submit → … → kernel`` span trees) and per-tenant Fig. 9b set-size
+histograms; the exporters render them as ``pool.metrics()`` snapshots,
+Prometheus text, Chrome-trace JSON and a periodic JSONL sink.
+
+All instrumentation is observation-only and nullable-guarded: disabled
+observability runs zero instrumentation code, enabled observability
+leaves modeled cycles and outputs bit-identical.
+"""
+
+from repro.observability.registry import (
+    CYCLE_BUCKETS,
+    OVERFLOW_LABEL,
+    WALL_BUCKETS,
+    MetricsRegistry,
+)
+from repro.observability.spans import Span, SpanRecorder
+from repro.observability.export import (
+    JsonlSink,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.observability.hub import Observability
+
+__all__ = [
+    "CYCLE_BUCKETS",
+    "OVERFLOW_LABEL",
+    "WALL_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "JsonlSink",
+    "prometheus_text",
+    "write_chrome_trace",
+    "Observability",
+]

@@ -1,0 +1,161 @@
+"""Telemetry exporters: Prometheus text, Chrome traces, JSONL sink.
+
+Three machine-readable views of one :class:`MetricsRegistry` /
+:class:`SpanRecorder` pair:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` lines,
+  histogram ``_bucket``/``_sum``/``_count`` expansion), so a scrape
+  endpoint is one ``write()`` away;
+* :func:`write_chrome_trace` — dumps a span tree (or a whole
+  recorder) as Chrome-trace JSON for off-the-shelf viewers;
+* :class:`JsonlSink` — the periodic append-only log the pool drives
+  every N ``run()`` calls: each record carries the pool's
+  ``HealthSnapshot.as_dict()`` plus the registry counter *deltas*
+  since the previous record, so a soak's whole degradation history
+  replays from one file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.observability.registry import MetricsRegistry, label_str
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_block(names, values) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{_escape(label_str(v))}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _merge_labels(names, values, extra_name, extra_value) -> str:
+    pairs = [f'{n}="{_escape(label_str(v))}"' for n, v in zip(names, values)]
+    pairs.append(f'{extra_name}="{extra_value}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, family in sorted(registry.families().items()):
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        names = family.label_names
+        if family.kind == "histogram":
+            for key in sorted(family.series, key=repr):
+                series = family.series[key]
+                cumulative = 0
+                for bound, count in zip(family.buckets, series.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_merge_labels(names, key, 'le', f'{bound:g}')}"
+                        f" {cumulative}"
+                    )
+                cumulative += series.counts[-1]
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_merge_labels(names, key, 'le', '+Inf')} {cumulative}"
+                )
+                block = _label_block(names, key)
+                lines.append(f"{name}_sum{block} {series.sum:g}")
+                lines.append(f"{name}_count{block} {series.count}")
+        else:
+            for key in sorted(family.series, key=repr):
+                lines.append(
+                    f"{name}{_label_block(names, key)} "
+                    f"{family.series[key]:g}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_chrome_trace(recorder_or_span, path) -> Path:
+    """Dump spans as Chrome-trace JSON; returns the written path.
+
+    Accepts a :class:`~repro.observability.spans.SpanRecorder` (whole
+    trace) or a single :class:`~repro.observability.spans.Span` (one
+    request's tree, e.g. ``result.spans``).
+    """
+    from repro.observability.spans import Span, SpanRecorder
+
+    if isinstance(recorder_or_span, SpanRecorder):
+        payload = recorder_or_span.chrome_trace()
+    elif isinstance(recorder_or_span, Span):
+        recorder = SpanRecorder()
+        recorder.t0 = recorder_or_span.t0
+        payload = recorder.chrome_trace([recorder_or_span])
+    else:
+        raise TypeError(
+            "write_chrome_trace takes a SpanRecorder or a Span, got "
+            f"{type(recorder_or_span).__name__}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class JsonlSink:
+    """Append-only JSONL telemetry log, one record per flush.
+
+    Each record is one JSON object::
+
+        {"seq": 3, "timestamp": ..., "runs": 12,
+         "health": {...HealthSnapshot.as_dict()...},
+         "metrics_delta": {family: {"label|values": delta, ...}}}
+
+    ``metrics_delta`` holds only what changed since the previous
+    record (counters/gauges by difference, histograms by added
+    count/sum), so tailing the file shows each interval's activity
+    directly.
+    """
+
+    def __init__(self, path, *, every: int = 1):
+        from repro.errors import ConfigError
+
+        if every < 1:
+            raise ConfigError("telemetry interval must be >= 1 run")
+        self.path = Path(path)
+        self.every = every
+        self.records_written = 0
+        self._calls = 0
+        self._last_snapshot: dict | None = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def maybe_write(self, registry: MetricsRegistry, health: dict, runs: int) -> bool:
+        """Count one ``run()``; flush a record every ``every`` calls.
+        Returns True when a record was written."""
+        self._calls += 1
+        if self._calls % self.every:
+            return False
+        self.write(registry, health, runs)
+        return True
+
+    def write(self, registry: MetricsRegistry, health: dict, runs: int) -> None:
+        snapshot = registry.snapshot()
+        record = {
+            "seq": self.records_written,
+            "timestamp": time.time(),
+            "runs": runs,
+            "health": health,
+            "metrics_delta": MetricsRegistry.delta(
+                snapshot, self._last_snapshot
+            ),
+        }
+        self._last_snapshot = snapshot
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record, default=str) + "\n")
+        self.records_written += 1

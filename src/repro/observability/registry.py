@@ -1,0 +1,295 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single mutable store behind
+``pool.metrics()``.  Three metric kinds cover everything the serving
+stack reports:
+
+* **counters** — monotonically increasing floats (instructions
+  dispatched, cache hits, cycles charged to a tenant);
+* **gauges** — last-written values (queue depths, resident sessions);
+* **histograms** — fixed-boundary bucket counts plus a running sum
+  (modeled cycles per burst, wall-clock seconds per run).
+
+Every series is keyed by a tuple of label *values* under a family's
+declared label *names* (``("tenant", "workload")`` → ``("t0",
+"triangles")``).  Bucket boundaries are fixed at family creation so
+snapshots taken at different times are always mergeable/diffable.
+
+**Cardinality cap.**  Labels like ``workload`` or ``opcode`` are drawn
+from small closed sets, but a buggy caller could label by request id
+and grow the registry without bound.  Each family therefore holds at
+most ``max_series`` distinct label tuples; past the cap, new label
+tuples fold into one reserved overflow series (so totals stay exact)
+and ``dropped_series`` counts how many distinct tuples were folded.
+
+The registry is observation-only state: feeding it never touches the
+engine, the SCU statistics or any RNG, so enabling metrics cannot
+change modeled cycles or outputs (asserted by the observability bench
+and tests).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+# One reserved label value for series folded by the cardinality cap.
+OVERFLOW_LABEL = "__overflow__"
+
+# Modeled-cycle histogram boundaries (cycles per instrumented burst):
+# decade buckets spanning a single metadata fetch to a full large-graph
+# region.  Fixed here so per-tenant histograms from different sessions
+# and epochs aggregate bucket-for-bucket.
+CYCLE_BUCKETS = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+# Wall-clock histogram boundaries (seconds): 10 µs .. 10 s.
+WALL_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def label_str(value) -> str:
+    """A stable string form of one label value (enums by name)."""
+    name = getattr(value, "name", None)
+    if name is not None and not isinstance(value, str):
+        return str(name)
+    return str(value)
+
+
+class _Family:
+    """Shared bookkeeping of one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple, max_series: int):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.max_series = max_series
+        self.series: dict[tuple, object] = {}
+        self.dropped_series = 0
+        self._overflow_key = (OVERFLOW_LABEL,) * len(self.label_names)
+
+    def _key(self, labels: tuple) -> tuple:
+        """Admit ``labels`` as a series key, folding past the cap."""
+        series = self.series
+        if labels in series or len(series) < self.max_series:
+            return labels
+        if labels != self._overflow_key:
+            self.dropped_series += 1
+        return self._overflow_key
+
+
+class _CounterFamily(_Family):
+    kind = "counter"
+
+    def inc(self, labels: tuple, amount: float = 1.0) -> None:
+        key = self._key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def get(self, labels: tuple) -> float:
+        return self.series.get(labels, 0.0)
+
+
+class _GaugeFamily(_Family):
+    kind = "gauge"
+
+    def set(self, labels: tuple, value: float) -> None:
+        self.series[self._key(labels)] = value
+
+    def get(self, labels: tuple) -> float:
+        return self.series.get(labels, 0.0)
+
+
+class _HistogramSeries:
+    """Bucket counts + sum + count of one histogram series."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, nbuckets: int):
+        self.counts = [0] * (nbuckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class _HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple,
+        max_series: int,
+        buckets: tuple,
+    ):
+        super().__init__(name, help, label_names, max_series)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigError("histogram buckets must be sorted and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, labels: tuple, value: float) -> None:
+        key = self._key(labels)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _HistogramSeries(len(self.buckets))
+        # Linear scan: bucket lists are short (<= 8) and fixed, and the
+        # common case (small bursts) exits in the first iterations.
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        series.counts[idx] += 1
+        series.sum += value
+        series.count += 1
+
+
+class MetricsRegistry:
+    """A bounded, label-aware store of counters, gauges and histograms.
+
+    ``max_series`` is the per-family cardinality cap (see module
+    docstring).  Families are created on first use through
+    :meth:`counter` / :meth:`gauge` / :meth:`histogram`; re-declaring a
+    family with different label names or kind raises ``ConfigError`` —
+    a name means one thing for the registry's whole lifetime.
+    """
+
+    def __init__(self, *, max_series: int = 64):
+        if max_series < 1:
+            raise ConfigError("max_series must be positive")
+        self.max_series = max_series
+        self._families: dict[str, _Family] = {}
+
+    # -- family declaration -------------------------------------------
+
+    def _declare(self, cls, name: str, help: str, label_names: tuple, **kw):
+        family = self._families.get(name)
+        if family is not None:
+            if not isinstance(family, cls) or family.label_names != tuple(
+                label_names
+            ):
+                raise ConfigError(
+                    f"metric {name!r} is already declared as a "
+                    f"{family.kind} with labels {family.label_names!r}"
+                )
+            return family
+        family = cls(name, help, tuple(label_names), self.max_series, **kw)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", label_names: tuple = ()
+    ) -> _CounterFamily:
+        return self._declare(_CounterFamily, name, help, label_names)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: tuple = ()
+    ) -> _GaugeFamily:
+        return self._declare(_GaugeFamily, name, help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple = (),
+        *,
+        buckets: tuple = CYCLE_BUCKETS,
+    ) -> _HistogramFamily:
+        return self._declare(
+            _HistogramFamily, name, help, label_names, buckets=buckets
+        )
+
+    # -- convenience write paths --------------------------------------
+
+    def inc(self, name: str, labels: tuple = (), amount: float = 1.0) -> None:
+        self._families[name].inc(labels, amount)
+
+    def set(self, name: str, labels: tuple = (), value: float = 0.0) -> None:
+        self._families[name].set(labels, value)
+
+    def observe(self, name: str, labels: tuple = (), value: float = 0.0) -> None:
+        self._families[name].observe(labels, value)
+
+    # -- read paths ---------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> dict[str, _Family]:
+        return dict(self._families)
+
+    def counter_value(self, name: str, labels: tuple = ()) -> float:
+        """One counter series' current value (0.0 when absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return family.series.get(labels, 0.0)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of every family and series.
+
+        Label values are stringified (enums by name) and joined with
+        ``|`` into one key per series, so the snapshot round-trips
+        through ``json.dumps`` unchanged.
+        """
+        out: dict = {}
+        for name, family in sorted(self._families.items()):
+            entry: dict = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "dropped_series": family.dropped_series,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.buckets)
+                entry["series"] = {
+                    "|".join(label_str(v) for v in key): {
+                        "counts": list(s.counts),
+                        "sum": s.sum,
+                        "count": s.count,
+                    }
+                    for key, s in family.series.items()
+                }
+            else:
+                entry["series"] = {
+                    "|".join(label_str(v) for v in key): value
+                    for key, value in family.series.items()
+                }
+            out[name] = entry
+        return out
+
+    @staticmethod
+    def delta(
+        current: dict, previous: dict | None
+    ) -> dict:
+        """Counter/gauge deltas between two :meth:`snapshot` dicts
+        (histograms are reported by their running ``count``/``sum``).
+
+        Used by the periodic JSONL sink so each record carries what
+        changed since the last record, not the lifetime totals."""
+        if previous is None:
+            previous = {}
+        out: dict = {}
+        for name, entry in current.items():
+            prev_entry = previous.get(name, {})
+            prev_series = prev_entry.get("series", {})
+            series: dict = {}
+            if entry["kind"] == "histogram":
+                for key, s in entry["series"].items():
+                    p = prev_series.get(key, {"sum": 0.0, "count": 0})
+                    d_count = s["count"] - p["count"]
+                    if d_count:
+                        series[key] = {
+                            "count": d_count,
+                            "sum": s["sum"] - p["sum"],
+                        }
+            else:
+                for key, value in entry["series"].items():
+                    d = value - prev_series.get(key, 0.0)
+                    if d:
+                        series[key] = d
+            if series:
+                out[name] = series
+        return out

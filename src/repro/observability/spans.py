@@ -1,0 +1,235 @@
+"""Request-scoped span tracing for the serving stack.
+
+Every step of a request's life — ``pool.submit`` → validate → admit →
+compile → fuse → execute → cache — opens a :class:`Span`.  Spans form
+trees: the pool's ``run()`` opens a root, each session batch and plan
+nests under it, and the context's instrumented instruction bursts
+become the kernel leaves, giving the full ``submit → … → kernel``
+nesting the Chrome-trace export renders.
+
+Two timelines coexist on every span:
+
+* **wall-clock** (``perf_counter`` seconds) — when the simulator
+  itself did the work; this is what the Chrome-trace ``ts``/``dur``
+  fields carry, so off-the-shelf viewers lay the spans out;
+* **modeled cycles** (``cycles``) — what the simulated machine paid
+  inside the span.  Kernel spans carry the exact per-burst dispatch
+  cost; plan spans carry the plan's attributed engine work, so a span
+  tree's cycle accounting can be checked against the engine's
+  per-tenant ledgers (tests do exactly that).
+
+Recording is observation-only: no engine charge, no RNG, no SCU state.
+The fused plan executor interleaves slices of different plans, so the
+recorder supports *detached* starts (a span parented explicitly rather
+than on the current stack) and :meth:`SpanRecorder.under` (temporarily
+re-entering an open span so nested instrumentation lands in the right
+subtree).
+
+``max_spans`` bounds memory: past the cap new spans are created (the
+callers still need handles) but not attached to the tree, and
+``dropped`` counts them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class Span:
+    """One timed, attributed step of a request's execution."""
+
+    __slots__ = (
+        "name", "t0", "t1", "parent", "children", "attrs", "cycles",
+    )
+
+    def __init__(self, name: str, parent: "Span | None", attrs: dict | None):
+        self.name = name
+        self.t0 = perf_counter()
+        self.t1: float | None = None
+        self.parent = parent
+        self.children: list[Span] = []
+        self.attrs = attrs
+        self.cycles: float | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.t1 if self.t1 is not None else perf_counter()
+        return end - self.t0
+
+    def depth(self) -> int:
+        """1 + the longest chain of descendants under this span."""
+        best = 0
+        stack = [(self, 1)]
+        while stack:
+            span, d = stack.pop()
+            if d > best:
+                best = d
+            for child in span.children:
+                stack.append((child, d + 1))
+        return best
+
+    def walk(self):
+        """Yield ``(span, depth)`` pre-order, this span at depth 0."""
+        stack = [(self, 0)]
+        while stack:
+            span, d = stack.pop()
+            yield span, d
+            for child in reversed(span.children):
+                stack.append((child, d + 1))
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (pre-order) whose name matches exactly."""
+        for span, __ in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "open" if self.t1 is None else f"{self.wall_seconds * 1e6:.0f}us"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class SpanRecorder:
+    """Collects span trees for one observability hub.
+
+    The recorder keeps a *current* stack: :meth:`start` parents the new
+    span on the stack top and pushes it; :meth:`end` pops it.  Spans
+    with no open parent become roots (one per ``pool.run()`` or
+    stand-alone ``session.run()``).
+    """
+
+    def __init__(self, *, max_spans: int = 250_000):
+        self.max_spans = max_spans
+        self.roots: list[Span] = []
+        self.count = 0
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self.t0 = perf_counter()  # trace epoch for the Chrome export
+
+    # -- recording ----------------------------------------------------
+
+    def _attach(self, span: Span) -> None:
+        if self.count >= self.max_spans:
+            self.dropped += 1
+            return
+        self.count += 1
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+    def start(self, name: str, attrs: dict | None = None) -> Span:
+        """Open a span under the current stack top and make it current."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, parent, attrs)
+        self._attach(span)
+        self._stack.append(span)
+        return span
+
+    def start_detached(
+        self, name: str, parent: Span | None, attrs: dict | None = None
+    ) -> Span:
+        """Open a span under an explicit parent without touching the
+        current stack (fused executors open all plan spans up front,
+        then re-enter them slice by slice via :meth:`under`)."""
+        span = Span(name, parent, attrs)
+        self._attach(span)
+        return span
+
+    def end(self, span: Span, *, cycles: float | None = None) -> None:
+        span.t1 = perf_counter()
+        if cycles is not None:
+            span.cycles = cycles
+        # Pop through abandoned descendants too, so an exception that
+        # skipped inner end() calls cannot wedge the stack.  Detached
+        # spans were never pushed, so ending one leaves the stack alone.
+        if any(top is span for top in self._stack):
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+
+    def enter(self, span: Span) -> None:
+        """Push an already-open span as the current stack top (paired
+        with :meth:`exit`; the procedural form of :meth:`under` for
+        code that cannot nest another context manager)."""
+        self._stack.append(span)
+
+    def exit(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, attrs: dict | None = None):
+        s = self.start(name, attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    @contextmanager
+    def under(self, span: Span | None):
+        """Temporarily make ``span`` the current stack top, so spans
+        started inside nest under it (kernel instrumentation during a
+        fused slice lands in the owning plan's subtree)."""
+        if span is None:
+            yield
+            return
+        self._stack.append(span)
+        try:
+            yield
+        finally:
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- export -------------------------------------------------------
+
+    def max_depth(self) -> int:
+        """The deepest nesting level across all recorded trees."""
+        return max((root.depth() for root in self.roots), default=0)
+
+    def chrome_trace(self, roots: list[Span] | None = None) -> dict:
+        """The recorded spans as a Chrome-trace-format JSON object.
+
+        One complete ("X") event per finished span; ``ts``/``dur`` are
+        microseconds relative to the recorder's epoch.  Each root tree
+        gets its own ``tid`` so interleaved plans render side by side,
+        and every event carries its tree depth, modeled cycles and
+        attributes in ``args``.  Load the dumped JSON in any
+        ``chrome://tracing``-compatible viewer (e.g. Perfetto).
+        """
+        events = []
+        t0 = self.t0
+        for tid, root in enumerate(roots if roots is not None else self.roots):
+            for span, depth in root.walk():
+                if span.t1 is None:
+                    continue  # still open; not representable as "X"
+                args: dict = {"depth": depth}
+                if span.cycles is not None:
+                    args["modeled_cycles"] = span.cycles
+                if span.attrs:
+                    args.update(
+                        (k, v)
+                        for k, v in span.attrs.items()
+                        if isinstance(v, (str, int, float, bool, type(None)))
+                    )
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": (span.t0 - t0) * 1e6,
+                        "dur": (span.t1 - span.t0) * 1e6,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }

@@ -67,6 +67,7 @@ class SisaContext:
         smb_enabled: bool = True,
         trace: bool = False,
         decision_memo: dict | None = None,
+        observability=None,
     ):
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
@@ -98,6 +99,13 @@ class SisaContext:
         # Scan costs are pure functions of the set size; cache them so
         # the per-iteration model bookkeeping stays off the hot path.
         self._scan_costs: dict[int, Cost] = {}
+        # Optional observability hub (repro.observability), shared with
+        # the SCU.  Nullable and observation-only: kernel spans and
+        # burst histograms are fed at batch granularity, after the
+        # engine charge, from the same BatchDispatch components — so
+        # enabling it cannot change modeled cycles or outputs.
+        self.obs = observability
+        self.scu.obs = observability
 
     # ------------------------------------------------------------------
     # Task scheduling
@@ -300,6 +308,8 @@ class SisaContext:
         n = len(bs)
         if n == 0:
             return np.zeros(0, dtype=np.int64)
+        obs = self.obs
+        span = obs.kernel_start(f"{kind}_count", n) if obs is not None else None
         va = sm.value(a)
         values = sm.values_of(bs)
         metas = sm.metas_of(bs)
@@ -311,6 +321,15 @@ class SisaContext:
             counts = batchmod.derive_counts(kind, va.cardinality, cards, inter)
         bd = self.scu.dispatch_binary_batch(op, sm.meta(a), metas, count_only=True)
         self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if obs is not None:
+            obs.kernel_end(
+                span,
+                sum(bd.compute)
+                + sum(bd.latency)
+                + sum(bd.memory) / self.engine.bytes_per_cycle,
+                va.cardinality,
+                (m.cardinality for m in metas),
+            )
         if self.trace.enabled:
             size_a = va.cardinality
             lane = self._current_lane
@@ -349,6 +368,12 @@ class SisaContext:
         if not len(bs):
             return []
         sm = self.sm
+        obs = self.obs
+        span = (
+            obs.kernel_start(f"{op.name.lower()}_batch", len(bs))
+            if obs is not None
+            else None
+        )
         va = sm.value(a)
         values = sm.values_of(bs)
         metas = sm.metas_of(bs)
@@ -362,6 +387,15 @@ class SisaContext:
             count_only=False,
         )
         self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if obs is not None:
+            obs.kernel_end(
+                span,
+                sum(bd.compute)
+                + sum(bd.latency)
+                + sum(bd.memory) / self.engine.bytes_per_cycle,
+                va.cardinality,
+                (m.cardinality for m in metas),
+            )
         if self.trace.enabled:
             size_a = va.cardinality
             lane = self._current_lane
@@ -431,6 +465,8 @@ class SisaContext:
         n = len(bs)
         if n == 0:
             return np.zeros(0, dtype=np.int64)
+        obs = self.obs
+        span = obs.kernel_start(f"fused_{kind}", n) if obs is not None else None
         va = sm.value(a)
         values = sm.values_of(bs)
         metas = sm.metas_of(bs)
@@ -444,6 +480,15 @@ class SisaContext:
             op, sm.meta(a), metas, count_only=True, include_decode=include_decode
         )
         self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if obs is not None:
+            obs.kernel_end(
+                span,
+                sum(bd.compute)
+                + sum(bd.latency)
+                + sum(bd.memory) / self.engine.bytes_per_cycle,
+                va.cardinality,
+                (m.cardinality for m in metas),
+            )
         if self.trace.enabled:
             size_a = va.cardinality
             lane = self._current_lane
@@ -586,6 +631,12 @@ class SisaContext:
         n = len(updates)
         if n == 0:
             return np.zeros(0, dtype=bool)
+        obs = self.obs
+        span = (
+            obs.kernel_start("insert" if insert else "remove", n)
+            if obs is not None
+            else None
+        )
         sm = self.sm
         # Group updates per target set, remembering stream positions.
         groups: dict[int, list[tuple[int, int]]] = {}
@@ -621,6 +672,15 @@ class SisaContext:
                 )
         bd = self.scu.dispatch_element_update_batch(metas, cards, insert=insert)
         self.engine.charge_batch(bd.compute, bd.memory, bd.latency)
+        if obs is not None:
+            obs.kernel_end(
+                span,
+                sum(bd.compute)
+                + sum(bd.latency)
+                + sum(bd.memory) / self.engine.bytes_per_cycle,
+                None,
+                cards,
+            )
         for set_id, value in new_values:
             sm.update(set_id, value)
         return effective

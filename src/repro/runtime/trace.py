@@ -4,6 +4,12 @@ The paper gathers "traces of executed set operations" to compare
 full and partial (cut-off) executions (Fig. 9b: histograms of the sizes
 of processed sets per thread).  A :class:`Trace` records one event per
 executed set instruction.
+
+:class:`SetSizeHistogram` is the aggregated form of the same quantity:
+fixed power-of-two buckets of processed input-set sizes, cheap enough
+to feed per instruction burst.  The observability layer keeps one per
+tenant in a serving pool, so the Fig. 9b distribution is available per
+tenant without retaining the full event stream a :class:`Trace` holds.
 """
 
 from __future__ import annotations
@@ -13,6 +19,70 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.isa.opcodes import Opcode
+
+# Power-of-two size buckets cover every practical set size: bucket i
+# holds sizes with bit_length i, i.e. [2**(i-1), 2**i - 1] (bucket 0 is
+# the empty set).  64 buckets exceed any addressable set.
+SET_SIZE_BUCKETS = 64
+
+
+class SetSizeHistogram:
+    """Fixed power-of-two-bucket histogram of processed set sizes.
+
+    ``counts[i]`` is the number of processed input sets whose size has
+    ``bit_length() == i`` (``counts[0]`` counts empty sets).  The fixed
+    bucketing makes histograms from different runs, sessions and
+    tenants mergeable bucket-for-bucket — the property the pool's
+    per-tenant aggregation relies on.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self):
+        self.counts = [0] * SET_SIZE_BUCKETS
+        self.total = 0
+
+    def observe(self, size: int) -> None:
+        self.counts[int(size).bit_length()] += 1
+        self.total += 1
+
+    def observe_many(self, sizes) -> None:
+        counts = self.counts
+        n = 0
+        for size in sizes:
+            counts[int(size).bit_length()] += 1
+            n += 1
+        self.total += n
+
+    def merge(self, other: "SetSizeHistogram") -> None:
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[int, int]:
+        """The inclusive ``[lo, hi]`` size range of bucket ``index``."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    def nonzero(self) -> dict[int, int]:
+        """``{bucket_index: count}`` for the populated buckets."""
+        return {i: c for i, c in enumerate(self.counts) if c}
+
+    def as_dict(self) -> dict:
+        """A JSON-safe summary keyed by the bucket's ``[lo, hi]``."""
+        return {
+            "total": self.total,
+            "buckets": {
+                f"{lo}-{hi}": count
+                for i, count in self.nonzero().items()
+                for lo, hi in [self.bucket_bounds(i)]
+            },
+        }
+
+    def __len__(self) -> int:
+        return self.total
 
 
 @dataclass(frozen=True)
@@ -52,6 +122,13 @@ class Trace:
         sizes = self.set_sizes(lane=lane)
         counts, __ = np.histogram(sizes, bins=bins)
         return counts
+
+    def size_histogram(self, *, lane: int | None = None) -> SetSizeHistogram:
+        """The recorded events folded into a :class:`SetSizeHistogram`
+        (the aggregated per-tenant form the observability layer keeps)."""
+        hist = SetSizeHistogram()
+        hist.observe_many(self.set_sizes(lane=lane))
+        return hist
 
     def __len__(self) -> int:
         return len(self.events)

@@ -98,6 +98,9 @@ class AdmissionController:
         self.deferrals: dict[str, int] = {}
         self.rejections: dict[str, int] = {}
         self.reject_reasons: dict[str, int] = {}
+        # Optional observability hub (set by the owning pool); mirrors
+        # decisions into labeled counters.  Observation-only.
+        self.obs = None
 
     def quota(self, tenant: str) -> TenantQuota | None:
         """The quota governing ``tenant`` (named, else the default,
@@ -133,6 +136,8 @@ class AdmissionController:
             self.reject_reasons[decision.reason] = (
                 self.reject_reasons.get(decision.reason, 0) + 1
             )
+        if self.obs is not None:
+            self.obs.admission(decision.action, tenant)
         return decision
 
     def _decide(

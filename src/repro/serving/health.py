@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 
 @dataclass(frozen=True)
@@ -74,8 +76,24 @@ class HealthSnapshot:
     cache_corruptions: int  # poisoned entries caught by fingerprinting
     cache_evictions: int  # entries dropped (LRU bound or injected)
     orientation_resyncs: int  # charged maintainer re-peels
-    injected_faults: dict = field(default_factory=dict)
+    injected_faults: Mapping = field(default_factory=dict)
     tenants: tuple = ()  # TenantHealth, sorted by tenant name
+
+    def __post_init__(self) -> None:
+        # A frozen dataclass holding a plain dict is only shallowly
+        # immutable — freeze the mapping too, so a snapshot cannot be
+        # edited after the fact (and cannot alias the injector's live
+        # tally dict).
+        object.__setattr__(
+            self,
+            "injected_faults",
+            MappingProxyType(dict(self.injected_faults)),
+        )
+        # O(1) per-tenant lookup for .tenant(); built once here rather
+        # than scanned per call.
+        object.__setattr__(
+            self, "_by_tenant", {t.tenant: t for t in self.tenants}
+        )
 
     @property
     def degraded(self) -> bool:
@@ -95,14 +113,21 @@ class HealthSnapshot:
         return not self.degraded and self.deferred == 0
 
     def tenant(self, name: str) -> TenantHealth:
-        for t in self.tenants:
-            if t.tenant == name:
-                return t
-        raise KeyError(name)
+        """The named tenant's health (O(1); KeyError if unknown)."""
+        return self._by_tenant[name]
 
     def as_dict(self) -> dict:
-        out = dataclasses.asdict(self)
+        """A JSON-safe copy.  Hand-built (``dataclasses.asdict`` would
+        deep-copy through the mapping proxy and fail), with every
+        mutable container defensively copied so callers cannot reach
+        back into the snapshot."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in ("injected_faults", "tenants")
+        }
+        out["injected_faults"] = dict(self.injected_faults)
+        out["tenants"] = [t.as_dict() for t in self.tenants]
         out["degraded"] = self.degraded
         out["healthy"] = self.healthy
-        out["tenants"] = [t.as_dict() for t in self.tenants]
         return out

@@ -181,6 +181,9 @@ class ResultCache:
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self.stats = CacheStats()
+        # Optional observability hub; mirrors stats events into labeled
+        # counters (by workload = key[0]).  Observation-only.
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -204,15 +207,22 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self.obs is not None:
+                self.obs.cache_event("miss", key[0])
             return None
         output, digest = entry
         if fingerprint(output) != digest:
             del self._entries[key]
             self.stats.corruptions += 1
             self.stats.misses += 1
+            if self.obs is not None:
+                self.obs.cache_event("corruption", key[0])
+                self.obs.cache_event("miss", key[0])
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.obs is not None:
+            self.obs.cache_event("hit", key[0])
         return (isolate_output(output),)
 
     def put(self, key: tuple, output: Any) -> None:
@@ -220,8 +230,10 @@ class ResultCache:
         self._entries[key] = (stored, fingerprint(stored))
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self.obs is not None:
+                self.obs.cache_event("eviction", evicted[0])
 
     # ------------------------------------------------------------------
     # Fault-injection hooks (serving soak tests)
@@ -245,8 +257,10 @@ class ResultCache:
         an entry was dropped."""
         if not self._entries:
             return False
-        self._entries.popitem(last=False)
+        evicted, _ = self._entries.popitem(last=False)
         self.stats.evictions += 1
+        if self.obs is not None:
+            self.obs.cache_event("eviction", evicted[0])
         return True
 
     def invalidate(self, workload: str | None = None) -> int:

@@ -51,6 +51,15 @@ class ExecutionConfig:
       on an unchanged graph are O(1) (``session.invalidate_results()``
       drops entries explicitly; mutations invalidate by key),
     * ``result_cache_size`` — LRU bound on cached outputs.
+
+    Observability:
+
+    * ``observability`` — when True, sessions and pools build an
+      :class:`~repro.observability.Observability` hub and feed it from
+      every layer (SCU dispatch, kernel bursts, caches, admission,
+      orientation maintenance).  Observation-only: modeled cycles and
+      outputs are bit-identical either way, so the knob is deliberately
+      *not* part of :meth:`memo_signature`.
     """
 
     threads: int = 32
@@ -66,6 +75,7 @@ class ExecutionConfig:
     batch: bool = True
     result_cache: bool = True
     result_cache_size: int = 128
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
@@ -89,13 +99,17 @@ class ExecutionConfig:
         """A copy with some knobs changed (validation re-runs)."""
         return dataclasses.replace(self, **changes)
 
-    def make_context(self, *, decision_memo: dict | None = None):
+    def make_context(
+        self, *, decision_memo: dict | None = None, observability=None
+    ):
         """Build a fresh simulated machine from the machine knobs.
 
         ``decision_memo`` optionally injects a shared SCU decision
         table (session pools share one per machine signature; the
         memoized values are pure functions of operand shapes and these
-        frozen configs, so sharing is bit-identical)."""
+        frozen configs, so sharing is bit-identical).  ``observability``
+        optionally wires an :class:`~repro.observability.Observability`
+        hub into the context and its SCU (observation-only)."""
         from repro.runtime.context import SisaContext
 
         return SisaContext(
@@ -107,6 +121,7 @@ class ExecutionConfig:
             smb_enabled=self.smb_enabled,
             trace=self.trace,
             decision_memo=decision_memo,
+            observability=observability,
         )
 
     def memo_signature(self) -> tuple:
@@ -138,4 +153,5 @@ class ExecutionConfig:
             "batch": self.batch,
             "result_cache": self.result_cache,
             "result_cache_size": self.result_cache_size,
+            "observability": self.observability,
         }

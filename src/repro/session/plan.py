@@ -205,13 +205,34 @@ def compile_plan(
         raise ConfigError(
             "view runs are not plannable; use session.run(..., view=...)"
         )
+    obs = getattr(session, "obs", None)
+    rec = obs.spans if obs is not None else None
+    cspan = (
+        rec.start(
+            "compile",
+            {"workload": str(workload), "tenant": tenant or "default"},
+        )
+        if rec is not None
+        else None
+    )
+    try:
+        return _compile(session, workload, params, tenant=tenant, rec=rec)
+    finally:
+        if rec is not None:
+            rec.end(cspan)
+
+
+def _compile(session, workload, params, *, tenant, rec):
     # A decomposed plan never calls spec.fn, so a misspelled parameter
     # the eager path would have rejected with TypeError must be caught
     # here — silently ignoring it would return a wrong result (e.g. a
     # typo'd ``measur=`` scoring the default measure).  The serving
     # rule engine is the single door: name, signature and domain rules
     # all run here (and on the eager paths) before any plan exists.
+    vspan = rec.start("validate") if rec is not None else None
     spec = validate_request(session, workload, params)
+    if rec is not None:
+        rec.end(vspan)
     stages = spec.stages(session, dict(params)) if spec.stages else None
     if stages is None:
         # Opaque fallback: the whole kernel runs as one call stage —
@@ -250,6 +271,12 @@ class _PlanRun:
         self.gen: Iterator[BurstUnit] | None = None
         self.stats = None  # DispatchStats accumulator (set on start)
         self.registrations = 0
+        # Observability (None when disabled): the plan's detached span,
+        # the currently-open stage span, and the tenant-work reading at
+        # the stage's start (for the stage span's cycle delta).
+        self.span = None
+        self.stage_span = None
+        self.stage_w0 = 0.0
 
 
 class PlanExecutor:
@@ -350,20 +377,41 @@ class PlanExecutor:
         """Run one plan exactly as the eager ``session.run`` did:
         result-cache consult, warm probe, one engine mark bracketing
         the stage stream (which reproduces the eager instruction stream
-        op for op)."""
+        op for op).  Observability hooks (``obs``/``rec``) are nullable
+        and observation-only: they read the engine, never charge it."""
         session = self.session
         ctx = session.ctx
-        cache_key = None
-        if session.config.result_cache:
-            cache_key = session._results.make_key(
-                plan.name, plan.cache_params, plan.version
+        obs = getattr(session, "obs", None)
+        rec = obs.spans if obs is not None else None
+        tenant = plan.tenant or "default"
+        if obs is not None:
+            obs.set_context(tenant, plan.name)
+        pspan = (
+            rec.start(
+                f"plan:{plan.name}",
+                {"tenant": tenant, "version": str(plan.version)},
             )
-            if cache_key is not None:
-                hit = session._results.get(cache_key)
+            if rec is not None
+            else None
+        )
+        try:
+            cache_key = None
+            if session.config.result_cache:
+                lspan = rec.start("cache:lookup") if rec is not None else None
+                cache_key = session._results.make_key(
+                    plan.name, plan.cache_params, plan.version
+                )
+                hit = (
+                    session._results.get(cache_key)
+                    if cache_key is not None
+                    else None
+                )
+                if rec is not None:
+                    rec.end(lspan)
                 if hit is not None:
                     mark = ctx.mark()
                     session.run_count += 1
-                    return RunResult(
+                    result = RunResult(
                         workload=plan.name,
                         output=hit[0],
                         report=ctx.report_since(mark),
@@ -375,36 +423,59 @@ class PlanExecutor:
                         session=session,
                         cached=True,
                     )
-        warm = session._is_warm(plan.spec, None, plan.params)
-        mark = ctx.mark()
-        state: dict = {}
-        value: Any = None
-        for stage in plan.stages:
-            self._inject(plan, stage.label)
-            if stage.kind == "call":
-                value = stage.run(session, state)
-            else:
-                for unit in stage.units(session, state):
-                    counts = getattr(ctx, f"{unit.kind}_count_batch")(
-                        unit.a, unit.bs
-                    )
-                    unit.sink(counts)
-                value = stage.result(state)
-        result = RunResult(
-            workload=plan.name,
-            output=value,
-            report=ctx.report_since(mark),
-            stats=ctx.stats_since(mark),
-            registrations=ctx.registrations_since(mark),
-            config=session.config,
-            params=dict(plan.params),
-            warm=warm,
-            session=session,
-        )
-        if cache_key is not None:
-            session._results.put(cache_key, value)
-        session.run_count += 1
-        return result
+                    if rec is not None:
+                        rec.end(pspan, cycles=0.0)
+                        result.spans = pspan
+                        obs.plan_wall(tenant, plan.name, pspan.wall_seconds)
+                        obs.plan_done("cached")
+                    return result
+            warm = session._is_warm(plan.spec, None, plan.params)
+            mark = ctx.mark()
+            state: dict = {}
+            value: Any = None
+            for stage in plan.stages:
+                self._inject(plan, stage.label)
+                if rec is not None:
+                    sspan = rec.start(f"stage:{stage.label}")
+                    w0 = ctx.engine.work_cycles()
+                if stage.kind == "call":
+                    value = stage.run(session, state)
+                else:
+                    for unit in stage.units(session, state):
+                        counts = getattr(ctx, f"{unit.kind}_count_batch")(
+                            unit.a, unit.bs
+                        )
+                        unit.sink(counts)
+                    value = stage.result(state)
+                if rec is not None:
+                    rec.end(sspan, cycles=ctx.engine.work_cycles() - w0)
+            report = ctx.report_since(mark)
+            result = RunResult(
+                workload=plan.name,
+                output=value,
+                report=report,
+                stats=ctx.stats_since(mark),
+                registrations=ctx.registrations_since(mark),
+                config=session.config,
+                params=dict(plan.params),
+                warm=warm,
+                session=session,
+            )
+            if cache_key is not None:
+                session._results.put(cache_key, value)
+            session.run_count += 1
+            if rec is not None:
+                rec.end(pspan, cycles=report.work_cycles)
+                result.spans = pspan
+                obs.plan_wall(tenant, plan.name, pspan.wall_seconds)
+                obs.plan_done("ok")
+            return result
+        except BaseException:
+            # End the plan span (popping any abandoned inner spans) so
+            # a faulted plan cannot wedge the recorder's stack.
+            if rec is not None and pspan.t1 is None:
+                rec.end(pspan)
+            raise
 
     # ------------------------------------------------------------------
     # Fused mode
@@ -413,8 +484,21 @@ class PlanExecutor:
     @contextmanager
     def _slice(self, run: _PlanRun):
         """Attribute one execution slice (charges, stats, set
-        registrations) to ``run``'s plan."""
+        registrations) to ``run``'s plan.
+
+        With observability on, the slice also switches the hub's
+        tenant/workload context and re-enters the run's open span, so
+        kernel-level feeds issued during the slice label and nest under
+        the owning plan even when slices of different plans interleave
+        (``_flush`` executing deferred units of another run)."""
         ctx = self.session.ctx
+        obs = getattr(self.session, "obs", None)
+        span = None
+        if obs is not None:
+            obs.set_context(run.plan.tenant or "default", run.plan.name)
+            span = run.stage_span or run.span
+            if span is not None:
+                obs.spans.enter(span)
         ctx.engine.set_tenant(run.tag)
         stats_mark = ctx.scu.stats.snapshot()
         reg_mark = ctx.sm.registrations
@@ -424,6 +508,8 @@ class PlanExecutor:
             ctx.engine.set_tenant(None)
             run.stats.add(ctx.scu.stats.since(stats_mark))
             run.registrations += ctx.sm.registrations - reg_mark
+            if span is not None:
+                obs.spans.exit(span)
 
     @contextmanager
     def _attribute(self, run: _PlanRun):
@@ -443,6 +529,12 @@ class PlanExecutor:
         from repro.isa.scu import DispatchStats
 
         session = self.session
+        obs = getattr(session, "obs", None)
+        rec = obs.spans if obs is not None else None
+        # Interleaved plans get detached spans under whatever span is
+        # current at batch entry (a pool's session span, usually); the
+        # recorder re-enters them slice by slice via _slice.
+        self._span_parent = rec.current if rec is not None else None
         runs = []
         for i, plan in enumerate(plans):
             tag = ("plan", i, plan.name)
@@ -479,21 +571,33 @@ class PlanExecutor:
         for run in runs:
             report = engine.tenant_report(run.tag)
             engine.drop_tenant(run.tag)
-            results.append(
-                RunResult(
-                    workload=run.plan.name,
-                    output=run.output,
-                    report=report,
-                    stats=run.stats,
-                    registrations=run.registrations,
-                    config=session.config,
-                    params=dict(run.plan.params),
-                    warm=run.warm,
-                    session=session,
-                    cached=run.cached,
-                    fused=True,
-                )
+            result = RunResult(
+                workload=run.plan.name,
+                output=run.output,
+                report=report,
+                stats=run.stats,
+                registrations=run.registrations,
+                config=session.config,
+                params=dict(run.plan.params),
+                warm=run.warm,
+                session=session,
+                cached=run.cached,
+                fused=True,
             )
+            if rec is not None and run.span is not None:
+                if run.span.t1 is None:
+                    # The plan span's cycles are the engine's attributed
+                    # tenant work — the exact quantity the pool charges
+                    # to this plan's tenant ledger.
+                    rec.end(run.span, cycles=report.work_cycles)
+                result.spans = run.span
+                obs.plan_wall(
+                    run.plan.tenant or "default",
+                    run.plan.name,
+                    run.span.wall_seconds,
+                )
+                obs.plan_done("cached" if run.cached else "ok")
+            results.append(result)
             session.run_count += 1
         return results
 
@@ -539,8 +643,23 @@ class PlanExecutor:
             # bursts first so no unit observes mutated SM state.
             self._flush(buffer)
             self._inject(plan, stage.label)
+            obs = getattr(self.session, "obs", None)
+            if obs is not None:
+                run.stage_span = obs.spans.start_detached(
+                    f"stage:{stage.label}", run.span
+                )
+                run.stage_w0 = self.session.ctx.engine.tenant_work_cycles(
+                    run.tag
+                )
             with self._slice(run):
                 run.value = stage.run(self.session, run.state)
+            if obs is not None:
+                obs.spans.end(
+                    run.stage_span,
+                    cycles=self.session.ctx.engine.tenant_work_cycles(run.tag)
+                    - run.stage_w0,
+                )
+                run.stage_span = None
             run.stage_idx += 1
             return True
         return self._advance_bursts(run, stage, buffer)
@@ -548,6 +667,16 @@ class PlanExecutor:
     def _start(self, run: _PlanRun) -> bool:
         session = self.session
         plan = run.plan
+        obs = getattr(session, "obs", None)
+        if obs is not None and run.span is None:
+            run.span = obs.spans.start_detached(
+                f"plan:{plan.name}",
+                self._span_parent,
+                {
+                    "tenant": plan.tenant or "default",
+                    "version": str(plan.version),
+                },
+            )
         key = session._results.make_key(
             plan.name, plan.cache_params, plan.version
         )
@@ -560,6 +689,8 @@ class PlanExecutor:
                 run.warm = True
                 run.started = True
                 run.finished = True
+                if obs is not None:
+                    obs.spans.end(run.span, cycles=0.0)
                 return True
             owner = self._owners.get(key)
             if owner is not None and owner is not run:
@@ -571,6 +702,7 @@ class PlanExecutor:
         return True
 
     def _advance_bursts(self, run: _PlanRun, stage: PlanStage, buffer) -> bool:
+        obs = getattr(self.session, "obs", None)
         key = self._stage_key(stage, run.plan)
         if run.gen is None:
             if key is not None:
@@ -581,12 +713,21 @@ class PlanExecutor:
                     stage.seed(run.state, value)
                     run.value = stage.result(run.state)
                     run.stage_idx += 1
+                    if obs is not None:
+                        obs.dedup(run.plan.name)
                     return True
                 owner = self._owners.get(key)
                 if owner is not None and owner is not run:
                     return False
                 self._owners[key] = run
             self._inject(run.plan, stage.label)
+            if obs is not None:
+                run.stage_span = obs.spans.start_detached(
+                    f"stage:{stage.label}", run.span
+                )
+                run.stage_w0 = self.session.ctx.engine.tenant_work_cycles(
+                    run.tag
+                )
             with self._attribute(run):
                 run.gen = stage.units(self.session, run.state)
         with self._attribute(run):
@@ -600,6 +741,13 @@ class PlanExecutor:
             if key is not None:
                 self._publish(key, run.value)
             run.stage_idx += 1
+            if obs is not None and run.stage_span is not None:
+                obs.spans.end(
+                    run.stage_span,
+                    cycles=self.session.ctx.engine.tenant_work_cycles(run.tag)
+                    - run.stage_w0,
+                )
+                run.stage_span = None
             return True
         if self._fuse_bursts:
             buffer.append((unit, run))

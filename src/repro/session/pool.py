@@ -50,6 +50,21 @@ wired in at three points:
   degradation state.  Without those knobs ``run()`` keeps the strict
   PR 5 semantics bit for bit — any stale plan fails the whole call
   before work starts, and modeled cycles are unchanged.
+
+Finally, ``observability=True`` (or a shared
+:class:`~repro.observability.Observability` hub) threads one metrics
+registry and span recorder through the whole fleet: every SCU
+dispatch, kernel burst, cache event, orientation repair, admission
+decision and tenant charge lands in labeled counters/histograms
+(``pool.metrics()``, ``pool.metrics_text()``), every
+``submit → validate → admit`` and ``run → session → plan → stage →
+kernel`` step opens a wall-clock + modeled-cycle span
+(``result.spans``, dumpable as Chrome-trace JSON), and
+``telemetry_path=`` adds a periodic JSONL sink flushed every
+``telemetry_every`` completed plans' worth of ``run()`` calls.  All of
+it is observation-only: disabled (the default) no instrumentation
+code runs at all, and enabled the modeled cycles and outputs are
+bit-identical to the uninstrumented pool.
 """
 
 from __future__ import annotations
@@ -58,6 +73,7 @@ from collections import OrderedDict
 from typing import Any
 
 from repro.errors import AdmissionError, ConfigError
+from repro.observability import JsonlSink, Observability
 from repro.serving.admission import AdmissionController, RetryPolicy, TenantQuota
 from repro.serving.validation import resolve_execution_config
 from repro.session.config import ExecutionConfig
@@ -88,6 +104,9 @@ class SessionPool:
         admission: AdmissionController | None = None,
         retry: RetryPolicy | None = None,
         fault_injector=None,
+        observability: bool | Observability | None = None,
+        telemetry_path=None,
+        telemetry_every: int = 1,
         **overrides: Any,
     ):
         if max_sessions <= 0:
@@ -104,6 +123,28 @@ class SessionPool:
             admission = AdmissionController(quotas, default_quota=default_quota)
         if retry is not None and not isinstance(retry, RetryPolicy):
             raise ConfigError("retry must be a RetryPolicy")
+        # One shared observability hub for the whole fleet (or None).
+        # Every session created by this pool feeds the same registry
+        # and span recorder, so pool.metrics() aggregates across the
+        # fleet and one submit→run request yields one span tree.
+        if isinstance(observability, Observability):
+            hub = observability
+        else:
+            enabled = (
+                config.observability
+                if observability is None
+                else bool(observability)
+            )
+            hub = Observability() if enabled else None
+        self.obs = hub
+        if telemetry_path is not None:
+            if hub is None:
+                raise ConfigError(
+                    "telemetry_path requires observability to be enabled"
+                )
+            hub.sink = JsonlSink(telemetry_path, every=telemetry_every)
+        if admission is not None:
+            admission.obs = hub
         self.config = config
         self.max_sessions = max_sessions
         self.fuse = fuse
@@ -176,7 +217,9 @@ class SessionPool:
             )
         cfg = config or self.config
         memo = self._memos.setdefault(cfg.memo_signature(), {})
-        session = SisaSession(graph, cfg, decision_memo=memo)
+        session = SisaSession(
+            graph, cfg, decision_memo=memo, observability=self.obs
+        )
         self._sessions[key] = session
         self._evict()
         return session
@@ -223,33 +266,48 @@ class SessionPool:
         raises :class:`~repro.errors.AdmissionError` and a deferred one
         parks until the tenant's queue drains at the next :meth:`run`.
         """
-        session = self.session(key, graph)
-        plan = compile_plan(session, workload, params, tenant=tenant)
-        if self.admission is not None:
-            decision = self.admission.decide(
-                tenant,
-                queued=self._tenant_queued(tenant),
-                deferred=self._tenant_deferred(tenant),
-                spent=self._spent(tenant),
-            )
-            if decision.action == "reject":
-                raise AdmissionError(
-                    f"tenant {tenant!r} submission rejected "
-                    f"({decision.reason}) for workload {workload!r}",
-                    details={
-                        "tenant": tenant,
-                        "workload": workload,
-                        "reason": decision.reason,
-                        **decision.details,
-                    },
-                )
-            if decision.action == "defer":
-                self._deferred.append((self._submitted, key, plan))
-                self._submitted += 1
-                return plan
-        self._pending.append((self._submitted, key, plan))
-        self._submitted += 1
-        return plan
+        rec = self.obs.spans if self.obs is not None else None
+        span = (
+            rec.start("submit", {"tenant": tenant, "workload": workload})
+            if rec is not None
+            else None
+        )
+        try:
+            session = self.session(key, graph)
+            plan = compile_plan(session, workload, params, tenant=tenant)
+            if self.admission is not None:
+                aspan = rec.start("admit") if rec is not None else None
+                try:
+                    decision = self.admission.decide(
+                        tenant,
+                        queued=self._tenant_queued(tenant),
+                        deferred=self._tenant_deferred(tenant),
+                        spent=self._spent(tenant),
+                    )
+                finally:
+                    if rec is not None:
+                        rec.end(aspan)
+                if decision.action == "reject":
+                    raise AdmissionError(
+                        f"tenant {tenant!r} submission rejected "
+                        f"({decision.reason}) for workload {workload!r}",
+                        details={
+                            "tenant": tenant,
+                            "workload": workload,
+                            "reason": decision.reason,
+                            **decision.details,
+                        },
+                    )
+                if decision.action == "defer":
+                    self._deferred.append((self._submitted, key, plan))
+                    self._submitted += 1
+                    return plan
+            self._pending.append((self._submitted, key, plan))
+            self._submitted += 1
+            return plan
+        finally:
+            if rec is not None:
+                rec.end(span)
 
     @property
     def pending(self) -> int:
@@ -349,9 +407,26 @@ class SessionPool:
         exception escapes for a plan failure.
         """
         self._promote_deferred()
-        if self._hardened:
-            return self._run_hardened()
-        return self._run_strict()
+        obs = self.obs
+        rec = obs.spans if obs is not None else None
+        span = (
+            rec.start("run", {"pending": len(self._pending)})
+            if rec is not None
+            else None
+        )
+        try:
+            if self._hardened:
+                results = self._run_hardened()
+            else:
+                results = self._run_strict()
+        finally:
+            if rec is not None:
+                rec.end(span)
+        if obs is not None:
+            obs.run_done()
+            if obs.sink is not None:
+                obs.flush_sink(self.health().as_dict(), self._completed)
+        return results
 
     def _run_strict(self) -> list[RunResult]:
         # Fail fast on drift before any tenant's work starts — one
@@ -364,18 +439,29 @@ class SessionPool:
         for idx, key, plan in pending:
             by_session.setdefault(key, []).append((idx, plan))
         results: dict[int, RunResult] = {}
+        rec = self.obs.spans if self.obs is not None else None
         try:
             for key, entries in by_session.items():
                 session = self._sessions[key]
                 ordered = _round_robin_by_tenant(entries)
-                executor = PlanExecutor(
-                    session, fuse=self.fuse, fuse_width=self.fuse_width
+                sspan = (
+                    rec.start(f"session:{key}", {"plans": len(ordered)})
+                    if rec is not None
+                    else None
                 )
-                for (idx, plan), result in zip(
-                    ordered, executor.execute([plan for __, plan in ordered])
-                ):
-                    results[idx] = result
-                    self._charge(plan.tenant or "default", result)
+                try:
+                    executor = PlanExecutor(
+                        session, fuse=self.fuse, fuse_width=self.fuse_width
+                    )
+                    for (idx, plan), result in zip(
+                        ordered,
+                        executor.execute([plan for __, plan in ordered]),
+                    ):
+                        results[idx] = result
+                        self._charge(plan.tenant or "default", result)
+                finally:
+                    if rec is not None:
+                        rec.end(sspan)
         except BaseException:
             # Re-queue everything that has no result yet, ahead of any
             # plans submitted by an exception handler in the meantime.
@@ -392,16 +478,26 @@ class SessionPool:
         for idx, key, plan in pending:
             by_session.setdefault(key, []).append((idx, plan))
         results: dict[int, RunResult | FailedResult] = {}
+        rec = self.obs.spans if self.obs is not None else None
         try:
             for key, entries in by_session.items():
                 session = self._sessions[key]
                 ordered = _round_robin_by_tenant(entries)
-                if self.fault_injector is not None:
-                    self.fault_injector.before_batch(
-                        session, [plan for __, plan in ordered]
-                    )
-                for idx, plan in ordered:
-                    results[idx] = self._run_plan_hardened(session, plan)
+                sspan = (
+                    rec.start(f"session:{key}", {"plans": len(ordered)})
+                    if rec is not None
+                    else None
+                )
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.before_batch(
+                            session, [plan for __, plan in ordered]
+                        )
+                    for idx, plan in ordered:
+                        results[idx] = self._run_plan_hardened(session, plan)
+                finally:
+                    if rec is not None:
+                        rec.end(sspan)
         except BaseException:
             # Only non-recoverable interrupts reach here (plan failures
             # become FailedResults); keep unfinished work queued.
@@ -487,6 +583,8 @@ class SessionPool:
                 self._tenant_retry_cycles[tenant] = (
                     self._tenant_retry_cycles.get(tenant, 0.0) + wasted
                 )
+                if self.obs is not None:
+                    self.obs.charge_retry(tenant, wasted)
                 if attempts < retry.max_attempts:
                     self._retries += 1
                 continue
@@ -505,11 +603,17 @@ class SessionPool:
         )
 
     def _charge(self, tenant: str, result: RunResult) -> None:
-        self._tenant_cycles[tenant] = self._tenant_cycles.get(
-            tenant, 0.0
-        ) + _work_cycles(result)
+        # The hub mirror performs the same float addition in the same
+        # order as the ledger dict, so pool.metrics() tenant counters
+        # equal pool.tenant_cycles *exactly* (not just approximately).
+        w = _work_cycles(result)
+        self._tenant_cycles[tenant] = (
+            self._tenant_cycles.get(tenant, 0.0) + w
+        )
         self._tenant_runs[tenant] = self._tenant_runs.get(tenant, 0) + 1
         self._completed += 1
+        if self.obs is not None:
+            self.obs.charge(tenant, w)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -531,6 +635,30 @@ class SessionPool:
     def tenant_runs(self) -> dict[str, int]:
         """Plans completed per tenant."""
         return dict(self._tenant_runs)
+
+    def metrics(self) -> dict:
+        """One JSON-safe snapshot of the pool's observability hub:
+        every metric family's series, the per-tenant processed-set-size
+        histograms (the paper's Fig. 9b, aggregated per tenant) and the
+        span recorder's counters.  Raises
+        :class:`~repro.errors.ConfigError` when observability is off —
+        an empty snapshot would be indistinguishable from an idle
+        pool."""
+        if self.obs is None:
+            raise ConfigError(
+                "observability is not enabled on this pool; construct it "
+                "with observability=True (or an Observability hub)"
+            )
+        return self.obs.metrics()
+
+    def metrics_text(self) -> str:
+        """The hub's registry in Prometheus text exposition format."""
+        if self.obs is None:
+            raise ConfigError(
+                "observability is not enabled on this pool; construct it "
+                "with observability=True (or an Observability hub)"
+            )
+        return self.obs.prometheus_text()
 
     def health(self):
         """One immutable :class:`~repro.serving.health.HealthSnapshot`

@@ -41,6 +41,10 @@ class RunResult:
     # own slice of the interleaved stream) rather than a contiguous
     # mark-to-mark region.
     fused: bool = False
+    # With observability enabled, the root Span of this run's span tree
+    # (``plan:{name}`` → stages → kernels); dump it with
+    # :func:`repro.observability.write_chrome_trace`.  None otherwise.
+    spans: Any = None
 
     @property
     def runtime_cycles(self) -> float:

@@ -58,8 +58,16 @@ class SisaSession:
         config: ExecutionConfig | None = None,
         *,
         decision_memo: dict | None = None,
+        observability=None,
         **overrides: Any,
     ):
+        # ``observability`` accepts a bool (folded into the config) or
+        # a shared :class:`~repro.observability.Observability` hub (a
+        # SessionPool passes its own, so every session feeds one
+        # registry/span recorder).
+        if isinstance(observability, bool):
+            overrides.setdefault("observability", observability)
+            observability = None
         # Override keys are validated by the serving rule engine before
         # any dataclass machinery sees them: a typo'd knob fails with a
         # ConfigError naming the bad key in ``details`` instead of a
@@ -67,11 +75,18 @@ class SisaSession:
         config = resolve_execution_config(config, overrides)
         self.graph = graph
         self.config = config
+        if observability is None and config.observability:
+            from repro.observability import Observability
+
+            observability = Observability()
+        self.obs = observability
         # ``decision_memo`` lets a SessionPool share one SCU decision
         # table across all sessions with the same machine configuration
         # (memoized values are pure functions of operand shapes and the
         # fixed configs, so sharing is bit-identical; see Scu).
-        self.ctx = config.make_context(decision_memo=decision_memo)
+        self.ctx = config.make_context(
+            decision_memo=decision_memo, observability=observability
+        )
         self.run_count = 0
         self._setgraph: SetGraph | None = None
         self._degeneracy: DegeneracyResult | None = None
@@ -85,6 +100,7 @@ class SisaSession:
         self._orientation_maintainer = None
         self._digraph_key = None
         self._results = ResultCache(maxsize=config.result_cache_size)
+        self._results.obs = observability
 
     # ------------------------------------------------------------------
     # Cached derived structures
@@ -293,6 +309,7 @@ class SisaSession:
             eps=eps,
             repair_limit=repair_limit,
         )
+        maintainer.obs = self.obs
         stream.subscribe(maintainer)
         self._orientation_maintainer = maintainer
         return maintainer

@@ -116,6 +116,9 @@ class IncrementalOrientation(StreamMaintainer):
             dtype=np.int64,
         )
         self.stats = OrientationStats()
+        # Optional observability hub (set by the owning session);
+        # mirrors maintenance events into labeled counters.
+        self.obs = None
         # Bumped on every mutation of the maintained orientation
         # (incremental updates, repairs, re-peels): consumers caching
         # derived views (e.g. the session's DiGraph export) key on it.
@@ -194,6 +197,8 @@ class IncrementalOrientation(StreamMaintainer):
     def on_applied(self, dynamic, touched: np.ndarray) -> None:
         ensure_live_view(dynamic)
         self.stats.batches += 1
+        if self.obs is not None:
+            self.obs.orientation_event("batch")
         if self.repeel_every_batch:
             if touched.size:
                 self._repeel(dynamic)
@@ -250,6 +255,8 @@ class IncrementalOrientation(StreamMaintainer):
         self.stats.repairs += 1
         self.stats.repair_flips += flips
         self.revision += 1
+        if self.obs is not None:
+            self.obs.orientation_event("repair")
 
     def _repeel(self, dynamic) -> None:
         """Full re-peel: recompute the exact degeneracy order of the
@@ -283,6 +290,8 @@ class IncrementalOrientation(StreamMaintainer):
         self.stats.full_repeels += 1
         self.revision += 1
         self._synced_mutations = dynamic.mutations
+        if self.obs is not None:
+            self.obs.orientation_event("repeel")
 
     def repeel(self) -> None:
         """Force a full re-peel of the maintained orientation now."""
@@ -294,6 +303,8 @@ class IncrementalOrientation(StreamMaintainer):
         the maintained rank and out-degrees can no longer be trusted,
         so re-peel from the current graph state."""
         self.stats.resyncs += 1
+        if self.obs is not None:
+            self.obs.orientation_event("resync")
         self._repeel(self.dynamic)
 
     def mark_desynced(self) -> None:
@@ -303,6 +314,8 @@ class IncrementalOrientation(StreamMaintainer):
         :meth:`resync` — the serving fault injector uses this to
         exercise that path on demand."""
         self._synced_mutations = -1
+        if self.obs is not None:
+            self.obs.orientation_event("desync")
 
     # ------------------------------------------------------------------
     # Verification (model-internal, test support)

@@ -90,10 +90,12 @@ def _measure(graph):
         assert plain.stats == seq.stats
         assert plain.opcode_counts() == seq.opcode_counts()
 
-    # Fused plan execution of the same batch.
+    # Fused plan execution of the same batch, statically certified
+    # hazard-free first (verify=True): the verifier is pure host-side
+    # analysis, so outputs and modeled cycles are unchanged by it.
     fused_session = _warm_session(graph)
     mark = fused_session.ctx.mark()
-    fused_runs = fused_session.run_many(batch, fuse=True)
+    fused_runs = fused_session.run_many(batch, fuse=True, verify=True)
     fused_cycles = fused_session.ctx.report_since(mark).runtime_cycles
     for seq, fused in zip(seq_runs, fused_runs):
         assert np.array_equal(

@@ -44,7 +44,7 @@ def kclique_star_intersect_on(
     cliques = kclique_count_on(
         ctx, oriented_sg, k, max_patterns=max_patterns, collect=True
     )
-    assert isinstance(cliques, list)
+    assert isinstance(cliques, list)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     stars: dict[tuple[int, ...], tuple[int, ...]] = {}
     for clique in cliques:
         ctx.begin_task()
@@ -79,7 +79,7 @@ def kclique_star_from_k1_on(
     k1_cliques = kclique_count_on(
         ctx, oriented_sg, k + 1, max_patterns=max_patterns, collect=True
     )
-    assert isinstance(k1_cliques, list)
+    assert isinstance(k1_cliques, list)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     stars: dict[tuple[int, ...], set[int]] = defaultdict(set)
     for clique in k1_cliques:
         ctx.begin_task()

@@ -96,7 +96,7 @@ def frequent_subgraphs_on(
     count = subgraph_isomorphism_on(
         graph, ctx, sg, single_edge, max_matches=max_matches_per_pattern
     )
-    assert isinstance(count, int)
+    assert isinstance(count, int)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     supports[canonical_key(single_edge)] = count
     if count >= threshold:
         frequent[2] = [single_edge]
@@ -112,7 +112,7 @@ def frequent_subgraphs_on(
                 candidate,
                 max_matches=max_matches_per_pattern,
             )
-            assert isinstance(count, int)
+            assert isinstance(count, int)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
             supports[key] = count
             if count >= threshold:
                 found.append(candidate)

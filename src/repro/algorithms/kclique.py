@@ -19,7 +19,7 @@ from repro.algorithms.common import (
     one_shot_session,
     warn_one_shot,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SisaError
 from repro.graphs.csr import CSRGraph
 from repro.runtime.context import SisaContext
 from repro.runtime.setgraph import SetGraph
@@ -106,7 +106,11 @@ def kclique_count_on(
         c2 = sg.neighborhood(u)
         total += _count_from(ctx, sg, 2, k, c2, [u], budget, cliques, batch)
     if collect:
-        assert cliques is not None
+        if cliques is None:  # pragma: no cover - internal invariant
+            raise SisaError(
+                "internal error: collect=True but no clique list was kept",
+                details={"k": k, "collect": collect},
+            )
         return cliques
     return total
 

@@ -1,0 +1,74 @@
+"""Static analysis for the plan engine and the project's own source.
+
+Two layers:
+
+* the **plan effect system and hazard verifier** — stages declare
+  typed effect sets (:mod:`~repro.analysis.static.effects`) and
+  :func:`analyze_batch` certifies a compiled batch free of fusion
+  hazards, dedup divergence and version-pin mismatches before the
+  fused executor touches it (:mod:`~repro.analysis.static.verifier`),
+  with :func:`check_plan_dynamic` validating the burst-generator
+  contract by instrumented execution
+  (:mod:`~repro.analysis.static.dynamic`);
+* the **project contract linter** — an AST rule engine
+  (:mod:`~repro.analysis.static.lint`) enforcing the repository's own
+  coding contracts (seeded RNG, narrow excepts, no library asserts,
+  structured error details, guarded observability).
+
+Run both from the command line::
+
+    PYTHONPATH=src python -m repro.analysis.static          # lint + verify
+    PYTHONPATH=src python -m repro.analysis.static --lint
+    PYTHONPATH=src python -m repro.analysis.static --verify
+    PYTHONPATH=src python -m repro.analysis.static --mypy   # if installed
+"""
+
+from repro.analysis.static.dynamic import (
+    ContractViolation,
+    DynamicReport,
+    check_plan_dynamic,
+)
+from repro.analysis.static.effects import (
+    EffectSet,
+    normalize_tokens,
+    stage_effects,
+    unit_effects,
+)
+from repro.analysis.static.lint import (
+    DEFAULT_RULES,
+    LintRule,
+    LintViolation,
+    available_lint_rules,
+    lint_paths,
+    lint_rule,
+    lint_source,
+)
+from repro.analysis.static.verifier import (
+    HAZARD_KINDS,
+    AnalysisReport,
+    Hazard,
+    PlanVerifier,
+    analyze_batch,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ContractViolation",
+    "DEFAULT_RULES",
+    "DynamicReport",
+    "EffectSet",
+    "HAZARD_KINDS",
+    "Hazard",
+    "LintRule",
+    "LintViolation",
+    "PlanVerifier",
+    "analyze_batch",
+    "available_lint_rules",
+    "check_plan_dynamic",
+    "lint_paths",
+    "lint_rule",
+    "lint_source",
+    "normalize_tokens",
+    "stage_effects",
+    "unit_effects",
+]

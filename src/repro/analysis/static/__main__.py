@@ -1,0 +1,117 @@
+"""CLI front end: ``python -m repro.analysis.static``.
+
+With no flags, runs the linter and the verifier smoke (the CI
+``static-analysis`` job's default).  ``--mypy`` additionally type-checks
+the strict packages when mypy is importable — the dev container does
+not ship it, so the flag degrades to a skip message instead of an
+ImportError.  Exit status is non-zero iff any requested check failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+
+def _repo_root() -> Path:
+    # src/repro/analysis/static/__main__.py -> repo root is 4 up from src/
+    return Path(__file__).resolve().parents[4]
+
+
+def _run_lint(paths: list[str]) -> int:
+    from repro.analysis.static.lint import lint_paths
+
+    root = _repo_root()
+    targets = paths or [str(root / "src" / "repro")]
+    violations = lint_paths(targets)
+    for v in violations:
+        print(v.render())
+    print(
+        f"repolint: {len(violations)} violation(s) in "
+        f"{', '.join(targets)}"
+    )
+    return 1 if violations else 0
+
+
+def _run_verify(n: int) -> int:
+    from repro.analysis.static.smoke import run_smoke
+
+    failed = 0
+    for label, report in run_smoke(n=n):
+        print(f"verify[{label}]: {report.summary()}")
+        if not report.certified:
+            failed += 1
+            for hazard in report.hazards:
+                print(f"  - [{hazard.kind}] {hazard.message}")
+    return 1 if failed else 0
+
+
+def _run_mypy() -> int:
+    if importlib.util.find_spec("mypy") is None:
+        print(
+            "mypy: not installed in this environment; skipping "
+            "(the CI static-analysis job installs and runs it)"
+        )
+        return 0
+    root = _repo_root()
+    cmd = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(root / "mypy.ini"),
+        str(root / "src" / "repro"),
+    ]
+    proc = subprocess.run(cmd, cwd=root)
+    return proc.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.static",
+        description="Project static analysis: contract linter, plan "
+        "hazard verifier, optional mypy.",
+    )
+    parser.add_argument(
+        "--lint", action="store_true", help="run the contract linter"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the plan-verifier smoke (full workload grid + soak batch)",
+    )
+    parser.add_argument(
+        "--mypy",
+        action="store_true",
+        help="type-check the strict packages (skipped if mypy is absent)",
+    )
+    parser.add_argument(
+        "--graph-size",
+        type=int,
+        default=60,
+        metavar="N",
+        help="vertex count for the verifier smoke graph (default 60)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    run_lint = args.lint or not (args.lint or args.verify or args.mypy)
+    run_verify = args.verify or not (args.lint or args.verify or args.mypy)
+    status = 0
+    if run_lint:
+        status |= _run_lint(list(args.paths))
+    if run_verify:
+        status |= _run_verify(args.graph_size)
+    if args.mypy:
+        status |= _run_mypy()
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""The plan effect system: a typed vocabulary for what stages touch.
+
+Every :class:`~repro.session.plan.PlanStage` (and the
+:class:`~repro.session.plan.BurstUnit` streams a ``bursts`` stage
+produces) declares its *effects* — what it reads and writes — as plain
+string tokens over four namespaces:
+
+``struct:<name>``
+    A session-cached derived structure (``undirected``/``oriented``
+    SetGraph, the degeneracy ``order``, the ``csr`` view).  Building
+    one is idempotent ("build-once"), so concurrent *writes* of the
+    same struct token are legal sharing, not a WAW hazard.
+``state:<slot>``
+    A slot of the plan's private execution-state dict (the accumulator
+    a burst sink folds counts into).  State is per-plan: the verifier
+    qualifies these tokens with the owning plan's identity before any
+    cross-plan comparison, so two plans' ``state:triangles`` slots are
+    distinct objects unless they are deduped through a shared cache
+    key.
+``sets:session`` / ``sets:scratch``
+    The set-ID domain: ``sets:session`` is the session's long-lived
+    neighborhood registrations (every burst reads them);
+    ``sets:scratch`` marks a stage that registers and releases its own
+    temporary sets (legal only in ``call`` stages, which the executor
+    never interleaves with buffered bursts).
+``cache:…`` / ``stream:version``
+    Result-cache keys (dedup domain) and the compile-time stream
+    version pin.
+
+Declaration is lightweight — tuples of tokens on the stage/unit — and
+bare structure names (``"oriented"``) are accepted anywhere a token is
+and expanded here, so the existing ``PlanStage.reads`` spelling keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+STRUCTS = ("undirected", "oriented", "order", "csr")
+
+SETS_SESSION = "sets:session"
+SETS_SCRATCH = "sets:scratch"
+STREAM_VERSION = "stream:version"
+
+# Bare structure-name expansion: ``oriented`` implies the degeneracy
+# order (orienting peels it), ``both`` is the kclique_star intersect
+# variant's double requirement, ``none`` reads no cached structure.
+_BARE = {
+    "undirected": ("struct:undirected",),
+    "oriented": ("struct:oriented", "struct:order"),
+    "order": ("struct:order",),
+    "csr": ("struct:csr",),
+    "both": ("struct:undirected", "struct:oriented", "struct:order"),
+    "none": (),
+}
+
+
+def normalize_token(token: str) -> tuple[str, ...]:
+    """Expand one declared token into canonical namespaced form."""
+    if token in _BARE:
+        return _BARE[token]
+    return (token,)
+
+
+def normalize_tokens(tokens: Iterable[str]) -> frozenset[str]:
+    out: set[str] = set()
+    for token in tokens:
+        out.update(normalize_token(token))
+    return frozenset(out)
+
+
+def state_slot(token: str) -> str | None:
+    """The raw state-dict key of a ``state:`` token (else ``None``)."""
+    if token.startswith("state:"):
+        return token.split(":", 1)[1]
+    return None
+
+
+def qualify(token: str, plan_id: str) -> str:
+    """Make a per-plan-private token unique across a batch.
+
+    Only ``state:`` tokens are plan-private (each ``_PlanRun`` owns its
+    state dict); every other namespace is genuinely shared and passes
+    through unchanged.
+    """
+    if token.startswith("state:"):
+        return f"state:{plan_id}:{token.split(':', 1)[1]}"
+    return token
+
+
+@dataclass(frozen=True)
+class EffectSet:
+    """One stage's (or unit's) declared reads and writes."""
+
+    reads: frozenset[str]
+    writes: frozenset[str]
+
+    @classmethod
+    def of(
+        cls, reads: Iterable[str] = (), writes: Iterable[str] = ()
+    ) -> "EffectSet":
+        return cls(normalize_tokens(reads), normalize_tokens(writes))
+
+    def qualified(self, plan_id: str) -> "EffectSet":
+        return EffectSet(
+            frozenset(qualify(t, plan_id) for t in self.reads),
+            frozenset(qualify(t, plan_id) for t in self.writes),
+        )
+
+    def conflicts(self, other: "EffectSet") -> list[tuple[str, str]]:
+        """Hazard pairs ``(kind, token)`` between this effect set and a
+        concurrently-schedulable one.
+
+        RAW: ``self`` writes what ``other`` reads; WAR: ``self`` reads
+        what ``other`` writes; WAW: both write.  ``struct:`` writes are
+        idempotent build-once constructions and never conflict with
+        each other (WAW) — but a struct *write* against a struct *read*
+        is still ordered work and reported, except that prep-style
+        builds are filtered by the verifier before this is called.
+        """
+        found: list[tuple[str, str]] = []
+        for token in sorted(self.writes & other.reads):
+            found.append(("RAW", token))
+        for token in sorted(self.reads & other.writes):
+            found.append(("WAR", token))
+        for token in sorted(self.writes & other.writes):
+            if not token.startswith("struct:"):
+                found.append(("WAW", token))
+        return found
+
+
+def stage_effects(stage) -> EffectSet:
+    """The declared :class:`EffectSet` of one plan stage.
+
+    ``bursts`` stages implicitly read the session's registered sets
+    (every burst operand is a session set ID); declared ``reads``/
+    ``writes`` tuples are normalized through the token vocabulary.
+    """
+    reads = list(stage.reads)
+    if stage.kind == "bursts":
+        reads.append(SETS_SESSION)
+    return EffectSet.of(reads, stage.writes)
+
+
+def unit_effects(unit) -> EffectSet:
+    """The declared :class:`EffectSet` of one burst unit: the burst
+    reads session sets, the sink writes the unit's declared slots."""
+    return EffectSet.of((SETS_SESSION,), unit.writes)

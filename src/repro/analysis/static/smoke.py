@@ -1,0 +1,109 @@
+"""Verifier smoke coverage: the full workload grid, compiled and
+certified.
+
+Two batch builders shared by the CLI (``python -m
+repro.analysis.static --verify``), the CI ``static-analysis`` job and
+the test suite:
+
+* :func:`full_grid` — one representative parameterization of **every**
+  registered workload (the acceptance bar: all 15 certify hazard-free);
+* :func:`soak_batch` — the multi-tenant robustness-soak mix from
+  ``benchmarks/bench_robustness.py`` (8 tenants × 5 workloads), the
+  batch shape the hardened serving path actually fuses.
+
+Everything runs on a small G(n, p) graph so the smoke completes in
+seconds; certification is static, so graph size only affects the
+compile step anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.static.verifier import AnalysisReport, analyze_batch
+from repro.graphs.generators import gnp_random_graph
+from repro.session import ExecutionConfig, SisaSession
+
+
+def _watchlist(n: int, count: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, n, size=(count * 2, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]][:count]
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
+def full_grid(n: int = 60) -> list[tuple[str, dict[str, Any]]]:
+    """One representative ``(workload, params)`` per registered
+    workload — every entry must compile and certify."""
+    from repro.algorithms.subgraph_iso import star_pattern
+
+    pairs = _watchlist(n, 24)
+    return [
+        ("triangles", {}),
+        ("clustering_coefficient", {}),
+        ("local_clustering", {}),
+        ("similarity_pairs", {"pairs": pairs, "measure": "jaccard"}),
+        ("similarity", {"u": 1, "v": 2, "measure": "jaccard"}),
+        ("kclique", {"k": 3}),
+        ("four_clique", {}),
+        ("kclique_star", {"k": 3}),
+        ("kclique_star", {"k": 3, "variant": "intersect"}),
+        ("maximal_cliques", {"max_patterns": 200}),
+        ("subgraph_iso", {"pattern": star_pattern(3), "max_matches": 100}),
+        ("fsm", {"sigma": 0.6, "max_size": 3}),
+        ("jarvis_patrick", {"tau": 0.2, "measure": "jaccard"}),
+        ("link_prediction", {"removal_fraction": 0.2, "seed": 7}),
+        ("approx_degeneracy", {"eps": 0.5}),
+        ("bfs", {"root": 0}),
+    ]
+
+
+#: The robustness-soak workload mix (mirrors bench_robustness.py).
+SOAK_WORKLOADS = (
+    ("triangles", {}),
+    ("clustering_coefficient", {}),
+    ("local_clustering", {}),
+    ("kclique", {"k": 3}),
+    ("bfs", {"root": 0}),
+)
+
+
+def make_session(
+    *, n: int = 60, p: float = 0.12, seed: int = 3, threads: int = 8
+) -> SisaSession:
+    graph = gnp_random_graph(n, p, seed=seed)
+    return SisaSession(graph, ExecutionConfig(threads=threads))
+
+
+def compile_batch(session: SisaSession, grid) -> list:
+    return [
+        session.compile(name, **dict(params)) for name, params in grid
+    ]
+
+
+def soak_batch(session: SisaSession, *, tenants: int = 8) -> list:
+    """The robustness-soak plan batch: each tenant compiles the full
+    soak mix against one shared session."""
+    plans = []
+    for tenant in range(tenants):
+        for name, params in SOAK_WORKLOADS:
+            plan = session.compile(name, **dict(params))
+            plan.tenant = f"tenant-{tenant}"
+            plans.append(plan)
+    return plans
+
+
+def run_smoke(*, n: int = 60, verbose: bool = False) -> list[tuple[str, AnalysisReport]]:
+    """Certify the full workload grid and the soak batch; returns
+    ``(label, report)`` pairs (all must be certified)."""
+    session = make_session(n=n)
+    reports = [
+        ("full-grid", analyze_batch(compile_batch(session, full_grid(n)))),
+        ("robustness-soak", analyze_batch(soak_batch(session))),
+    ]
+    if verbose:
+        for label, report in reports:
+            print(f"{label}: {report.summary()}")
+    return reports

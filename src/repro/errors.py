@@ -67,6 +67,15 @@ class AdmissionError(ReproError):
     observed value."""
 
 
+class HazardError(SisaError):
+    """A plan batch rejected by the static plan verifier
+    (:func:`repro.analysis.static.analyze_batch`): executing it fused
+    could produce a data hazard (RAW/WAR between macro constituents,
+    dedup-key divergence, or inconsistent stream-version pins).
+    ``details`` carries the full structured
+    :class:`~repro.analysis.static.verifier.AnalysisReport`."""
+
+
 class InjectedFault(SisaError):
     """A fault deliberately raised by the serving
     :class:`~repro.serving.faults.FaultInjector` (soak/chaos testing).

@@ -397,7 +397,7 @@ def _pairs_shape(ctx: RequestContext):
         return None
     try:
         arr = np.asarray(pairs)
-    except Exception:  # pragma: no cover - exotic non-array inputs
+    except (TypeError, ValueError):  # pragma: no cover - non-array inputs
         return Violation("pairs-shape", "pairs is not array-like")
     if arr.ndim != 2 or arr.shape[1] != 2:
         return Violation(

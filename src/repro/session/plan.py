@@ -56,7 +56,13 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from repro.errors import ConfigError, InjectedFault, SisaError
+from repro.errors import (
+    ConfigError,
+    HazardError,
+    InjectedFault,
+    ReproError,
+    SisaError,
+)
 from repro.serving.validation import validate_request
 from repro.session.cache import canonical_param, isolate_output
 from repro.session.registry import WorkloadSpec
@@ -83,6 +89,11 @@ class BurstUnit:
     kind: str  # one of BURST_KINDS
     lane: int
     sink: Callable[[np.ndarray], None]
+    # Effect tokens the sink writes (``state:<slot>`` namespace; see
+    # repro.analysis.static.effects).  The static verifier unions these
+    # with the owning stage's declared writes; the dynamic checker uses
+    # them to know which slots a deferred sink may legally touch.
+    writes: tuple[str, ...] = ()
 
 
 @dataclass
@@ -104,6 +115,14 @@ class PlanStage:
     in the burst itself and its ``sink``, whose execution the fused
     scheduler defers (generation may run ahead of earlier units'
     sinks, so it must not depend on their effects either).
+
+    Effect declarations (``reads``/``writes``/``seeds``) use the token
+    vocabulary of :mod:`repro.analysis.static.effects` — ``struct:``,
+    ``state:``, ``sets:`` namespaces, with bare structure names like
+    ``"oriented"`` accepted and expanded.  ``writes`` is what executing
+    the stage mutates; ``seeds`` is the (``state:``) slots its ``seed``
+    hook installs when the stage is deduped instead of executed — the
+    verifier certifies the two can never diverge.
     """
 
     kind: str
@@ -114,6 +133,8 @@ class PlanStage:
     units: Callable[[Any, dict], Iterator[BurstUnit]] | None = None
     result: Callable[[dict], Any] | None = None
     seed: Callable[[dict, Any], None] | None = None
+    writes: tuple[str, ...] = ()  # effect tokens executing the stage mutates
+    seeds: tuple[str, ...] = ()  # state slots the seed hook installs
 
 
 def subrequest_key(name: str, params: dict) -> tuple | None:
@@ -245,7 +266,12 @@ def _compile(session, workload, params, *, tenant, rec):
             PlanStage(
                 kind="call",
                 label=f"run:{spec.name}",
-                reads=(spec.requires_for(params),),
+                # The opaque kernel's effects come from the spec's
+                # registration-time declaration: what structures it
+                # reads plus any extra domains (e.g. sets:scratch for
+                # kernels that register/release their own sets).
+                reads=(spec.requires_for(params),) + tuple(spec.effect_reads),
+                writes=tuple(spec.effect_writes),
                 run=run,
             )
         ]
@@ -298,12 +324,18 @@ class PlanExecutor:
         fuse: bool = True,
         fuse_width: int = 8,
         fault_injector=None,
+        verify: bool = False,
     ):
         if fuse_width < 1:
             raise ConfigError("fuse_width must be positive")
         self.session = session
         self.fuse = fuse
         self.fuse_width = fuse_width
+        # verify=True runs the static hazard verifier over every batch
+        # before execution and raises HazardError on certification
+        # failure; the report is kept on ``last_analysis`` either way.
+        self.verify = verify
+        self.last_analysis = None
         # A serving FaultInjector (soak testing): its on_stage hook may
         # raise InjectedFault at any stage boundary.
         self.fault_injector = fault_injector
@@ -314,9 +346,28 @@ class PlanExecutor:
         self._owners: dict[tuple, _PlanRun] = {}
 
     def _inject(self, plan: WorkloadPlan, stage_label: str) -> None:
-        """Give the fault injector a shot at this stage boundary."""
-        if self.fault_injector is not None:
+        """Give the fault injector a shot at this stage boundary.
+
+        Whatever the injector raises *is* an injected fault: foreign
+        exception types (soak scripts simulating, say, a kernel
+        ``RuntimeError``) are wrapped into
+        :class:`~repro.errors.InjectedFault` here so the retry and
+        isolation machinery — which deliberately handles only the
+        package's own failure taxonomy — treats them as the transients
+        they simulate, while a genuine bug in executing code still
+        propagates."""
+        if self.fault_injector is None:
+            return
+        try:
             self.fault_injector.on_stage(plan, stage_label)
+        except ReproError:
+            raise
+        except Exception as exc:  # repolint: disable=overbroad-except -- injector raises are faults by definition
+            raise InjectedFault(
+                f"fault injector raised {type(exc).__name__} at stage "
+                f"{stage_label!r}",
+                details={"workload": plan.name, "stage": stage_label},
+            ) from exc
 
     # ------------------------------------------------------------------
     # Entry point
@@ -331,6 +382,19 @@ class PlanExecutor:
                     "batches through a SessionPool"
                 )
             plan.check_version()
+        if self.verify:
+            # Deferred import: the analysis package is optional at
+            # execution time and imports nothing from the hot path.
+            from repro.analysis.static.verifier import analyze_batch
+
+            report = analyze_batch(plans, fuse_width=self.fuse_width)
+            self.last_analysis = report
+            if not report.certified:
+                raise HazardError(
+                    f"plan batch failed static verification: "
+                    f"{report.summary()}",
+                    details=report.as_dict(),
+                )
         if not self.fuse:
             return [self._execute_sequential(plan) for plan in plans]
         return self._execute_fused(plans)
@@ -353,10 +417,14 @@ class PlanExecutor:
                 fuse=self.fuse,
                 fuse_width=self.fuse_width,
                 fault_injector=self.fault_injector,
+                verify=self.verify,
             )
             try:
                 results.append(sub.execute([plan])[0])
-            except Exception as exc:
+            except ReproError as exc:
+                # Only the package's own failure taxonomy converts to a
+                # structured FailedResult (injected faults, drift,
+                # validation); anything else is a bug and propagates.
                 results.append(
                     FailedResult(
                         workload=plan.name,

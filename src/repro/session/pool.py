@@ -72,7 +72,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
-from repro.errors import AdmissionError, ConfigError
+from repro.errors import AdmissionError, ConfigError, ReproError
 from repro.observability import JsonlSink, Observability
 from repro.serving.admission import AdmissionController, RetryPolicy, TenantQuota
 from repro.serving.validation import resolve_execution_config
@@ -345,7 +345,7 @@ class SessionPool:
         queue pulls deferred work in deterministically."""
         if not self._deferred:
             return
-        assert self.admission is not None  # plans only defer via admission
+        assert self.admission is not None  # repolint: disable=library-assert -- plans only defer via admission
         depth: dict[str, int] = {}
         for __, __, p in self._pending:
             t = p.tenant or "default"
@@ -382,8 +382,15 @@ class SessionPool:
             self._deferred = [e for e in self._deferred if not e[2].stale]
         return stale
 
-    def run(self) -> list[RunResult | FailedResult]:
+    def run(self, *, verify: bool = False) -> list[RunResult | FailedResult]:
         """Execute every queued plan; results in submission order.
+
+        ``verify=True`` runs the static hazard verifier
+        (:func:`repro.analysis.static.analyze_batch`) over each
+        session's batch before execution: a batch that cannot be
+        certified hazard-free raises
+        :class:`~repro.errors.HazardError` in strict mode, or fails
+        the offending plans structurally in hardened mode.
 
         Per session, the batch is ordered round-robin across tenants
         (first tenant's first plan, second tenant's first plan, ...,
@@ -416,9 +423,9 @@ class SessionPool:
         )
         try:
             if self._hardened:
-                results = self._run_hardened()
+                results = self._run_hardened(verify=verify)
             else:
-                results = self._run_strict()
+                results = self._run_strict(verify=verify)
         finally:
             if rec is not None:
                 rec.end(span)
@@ -428,7 +435,7 @@ class SessionPool:
                 obs.flush_sink(self.health().as_dict(), self._completed)
         return results
 
-    def _run_strict(self) -> list[RunResult]:
+    def _run_strict(self, *, verify: bool = False) -> list[RunResult]:
         # Fail fast on drift before any tenant's work starts — one
         # tenant's stale plan must not cost another tenant's computed
         # results.
@@ -451,7 +458,10 @@ class SessionPool:
                 )
                 try:
                     executor = PlanExecutor(
-                        session, fuse=self.fuse, fuse_width=self.fuse_width
+                        session,
+                        fuse=self.fuse,
+                        fuse_width=self.fuse_width,
+                        verify=verify,
                     )
                     for (idx, plan), result in zip(
                         ordered,
@@ -472,7 +482,9 @@ class SessionPool:
         self._evict()
         return [results[idx] for idx, __, __ in pending]
 
-    def _run_hardened(self) -> list[RunResult | FailedResult]:
+    def _run_hardened(
+        self, *, verify: bool = False
+    ) -> list[RunResult | FailedResult]:
         pending, self._pending = self._pending, []
         by_session: OrderedDict[Any, list] = OrderedDict()
         for idx, key, plan in pending:
@@ -494,7 +506,9 @@ class SessionPool:
                             session, [plan for __, plan in ordered]
                         )
                     for idx, plan in ordered:
-                        results[idx] = self._run_plan_hardened(session, plan)
+                        results[idx] = self._run_plan_hardened(
+                            session, plan, verify=verify
+                        )
                 finally:
                     if rec is not None:
                         rec.end(sspan)
@@ -509,7 +523,7 @@ class SessionPool:
         return [results[idx] for idx, __, __ in pending]
 
     def _run_plan_hardened(
-        self, session: SisaSession, plan: WorkloadPlan
+        self, session: SisaSession, plan: WorkloadPlan, *, verify: bool = False
     ) -> RunResult | FailedResult:
         """One plan, isolated: budget gate → (re)compile if stale →
         attempt → on failure charge the wasted cycles to the tenant's
@@ -571,10 +585,15 @@ class SessionPool:
                 fuse=self.fuse,
                 fuse_width=self.fuse_width,
                 fault_injector=injector,
+                verify=verify,
             )
             try:
                 (result,) = executor.execute([current])
-            except Exception as exc:
+            except ReproError as exc:
+                # The retry loop handles only the package's own failure
+                # taxonomy (injected faults, drift, hazards, validation)
+                # — a foreign exception is a bug, not a transient, and
+                # propagates to the caller instead of burning retries.
                 attempts += 1
                 last_exc = exc
                 wasted = _report_work_cycles(session.ctx.report_since(mark))

@@ -54,6 +54,15 @@ class WorkloadSpec:
     # drops these too, so an explicitly invalidated workload can never
     # be "recomputed" from a sub-request the caller meant to discard.
     subrequests: tuple[str, ...] = ()
+    # Effect declarations for workloads *without* a stage compiler: the
+    # opaque call stage the fallback compiler emits carries these tokens
+    # (namespaces of repro.analysis.static.effects) so the hazard
+    # verifier can still reason about the kernel — e.g. a kernel that
+    # registers and releases its own temporary sets declares
+    # ``effect_writes=("sets:scratch",)``.  Stage-compiled workloads
+    # declare effects per stage instead.
+    effect_reads: tuple[str, ...] = ()
+    effect_writes: tuple[str, ...] = ()
 
     def requires_for(self, params: dict) -> str:
         req = self.requires(params) if callable(self.requires) else self.requires
@@ -74,6 +83,8 @@ def workload(
     stages: Callable[[Any, dict], list] | None = None,
     normalize: Callable[[Any, dict], dict] | None = None,
     subrequests: tuple[str, ...] = (),
+    effect_reads: tuple[str, ...] = (),
+    effect_writes: tuple[str, ...] = (),
     replace: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a session workload under ``name``.
@@ -103,6 +114,8 @@ def workload(
             stages=stages,
             normalize=normalize,
             subrequests=subrequests,
+            effect_reads=effect_reads,
+            effect_writes=effect_writes,
         )
         return fn
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SisaError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.digraph import DiGraph, orient_by_order
 from repro.graphs.orientation import DegeneracyResult, degeneracy_order
@@ -142,7 +142,14 @@ class SisaSession:
                 self._stream.num_vertices, edges
             )
             self._csr_version = self._version
-        assert self._csr_cache is not None
+        if self._csr_cache is None:  # pragma: no cover - internal invariant
+            raise SisaError(
+                "internal error: CSR cache missing after rebuild",
+                details={
+                    "version": list(self._version),
+                    "csr_version": list(self._csr_version),
+                },
+            )
         return self._csr_cache
 
     @property
@@ -226,7 +233,11 @@ class SisaSession:
                 self._digraph_key = key
             return self._digraph
         self.oriented_setgraph  # ensure built
-        assert self._digraph is not None
+        if self._digraph is None:  # pragma: no cover - internal invariant
+            raise SisaError(
+                "internal error: orientation built without its DiGraph",
+                details={"version": list(self._version)},
+            )
         return self._digraph
 
     def _release_setgraph(self, sg: SetGraph) -> None:
@@ -407,6 +418,7 @@ class SisaSession:
         fuse_width: int = 8,
         isolate: bool = False,
         fault_injector=None,
+        verify: bool = False,
     ) -> list[RunResult]:
         """Execute a batch of plans and return their
         :class:`RunResult`\\ s in batch order.
@@ -427,7 +439,10 @@ class SisaSession:
         :class:`~repro.session.pool.SessionPool`'s job).
         ``fault_injector`` threads a serving
         :class:`~repro.serving.faults.FaultInjector` into the executor
-        for soak testing.
+        for soak testing.  ``verify=True`` statically certifies the
+        batch hazard-free (:func:`repro.analysis.static.analyze_batch`)
+        before anything executes, raising
+        :class:`~repro.errors.HazardError` on failure.
         """
         from repro.session.plan import PlanExecutor, WorkloadPlan
 
@@ -445,6 +460,7 @@ class SisaSession:
             fuse=fuse,
             fuse_width=fuse_width,
             fault_injector=fault_injector,
+            verify=verify,
         )
         if isolate:
             return executor.execute_isolated(compiled)

@@ -13,6 +13,8 @@ import ``repro.session`` for their deprecated shims).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.algorithms.bfs import bfs_on
@@ -38,6 +40,9 @@ from repro.graphs.csr import CSRGraph
 from repro.runtime.setgraph import SetGraph
 from repro.session.registry import workload
 from repro.streaming.incremental import degrees_of, local_triangle_counts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.session.plan import PlanStage
 
 
 def _batch(session, batch):
@@ -70,7 +75,16 @@ def _prep_stage(which: str) -> "PlanStage":
             session.oriented_setgraph
         return None
 
-    return PlanStage(kind="call", label=f"prep:{which}", reads=(which,), run=run)
+    # A prep stage *constructs* the cached structure it names; the bare
+    # name in ``writes`` expands to the ``struct:`` tokens (build-once,
+    # so concurrent prep of one struct is sharing, not a WAW hazard).
+    return PlanStage(
+        kind="call",
+        label=f"prep:{which}",
+        reads=(which,),
+        writes=(which,),
+        run=run,
+    )
 
 
 def _triangle_burst_stage() -> "PlanStage":
@@ -98,6 +112,7 @@ def _triangle_burst_stage() -> "PlanStage":
                     kind="intersect",
                     lane=lane,
                     sink=sink,
+                    writes=("state:triangles",),
                 )
 
     return PlanStage(
@@ -108,6 +123,8 @@ def _triangle_burst_stage() -> "PlanStage":
         units=units,
         result=lambda state: state["triangles"],
         seed=lambda state, value: state.__setitem__("triangles", value),
+        writes=("state:triangles",),
+        seeds=("state:triangles",),
     )
 
 
@@ -140,7 +157,12 @@ def _clustering_coefficient_stages(session, params):
     return [
         _prep_stage("oriented"),
         _triangle_burst_stage(),
-        PlanStage(kind="call", label="finalize:wedges", run=finalize),
+        PlanStage(
+            kind="call",
+            label="finalize:wedges",
+            reads=("state:triangles",),
+            run=finalize,
+        ),
     ]
 
 
@@ -165,6 +187,7 @@ def _local_clustering_stages(session, params):
                     kind="intersect",
                     lane=lane,
                     sink=sink,
+                    writes=("state:counts",),
                 )
 
     def finalize(session, state):
@@ -188,8 +211,15 @@ def _local_clustering_stages(session, params):
             units=units,
             result=lambda state: state["counts"],
             seed=lambda state, value: state.__setitem__("counts", value),
+            writes=("state:counts",),
+            seeds=("state:counts",),
         ),
-        PlanStage(kind="call", label="finalize:coefficients", run=finalize),
+        PlanStage(
+            kind="call",
+            label="finalize:coefficients",
+            reads=("state:counts",),
+            run=finalize,
+        ),
     ]
 
 
@@ -243,7 +273,14 @@ def _similarity_pairs_stages(session, params):
                     inter, denom, out=np.zeros_like(inter), where=denom > 0
                 )
 
-            yield BurstUnit(a=nu, bs=nvs, kind=kind, lane=lane, sink=sink)
+            yield BurstUnit(
+                a=nu,
+                bs=nvs,
+                kind=kind,
+                lane=lane,
+                sink=sink,
+                writes=("state:scores",),
+            )
 
     return [
         _prep_stage("undirected"),
@@ -258,6 +295,8 @@ def _similarity_pairs_stages(session, params):
             units=units,
             result=lambda state: state["scores"],
             seed=lambda state, value: state.__setitem__("scores", value),
+            writes=("state:scores",),
+            seeds=("state:scores",),
         ),
     ]
 
@@ -328,6 +367,7 @@ def _local_clustering(session, *, view=None):
 @workload(
     "kclique",
     requires="oriented",
+    effect_writes=("sets:scratch",),
     description="k-clique counting/listing (Algorithm 3)",
 )
 def _kclique(session, *, k, max_patterns=None, collect=False, batch=None):
@@ -344,6 +384,7 @@ def _kclique(session, *, k, max_patterns=None, collect=False, batch=None):
 @workload(
     "four_clique",
     requires="oriented",
+    effect_writes=("sets:scratch",),
     description="Specialized 4-clique counting (Table 4)",
 )
 def _four_clique(session, *, max_patterns=None, batch=None):
@@ -363,6 +404,7 @@ def _four_clique(session, *, max_patterns=None, batch=None):
         "both" if params.get("variant") == "intersect" else "oriented"
     ),
     description="k-clique-star listing (Algorithms 4 and 5)",
+    effect_writes=("sets:scratch",),
 )
 def _kclique_star(session, *, k, variant="from_k1", max_patterns=None):
     if variant not in ("intersect", "from_k1"):
@@ -384,6 +426,7 @@ def _kclique_star(session, *, k, variant="from_k1", max_patterns=None):
 @workload(
     "maximal_cliques",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Bron-Kerbosch maximal clique listing (Algorithm 2)",
 )
 def _maximal_cliques(session, *, max_patterns=None, max_patterns_per_root=None):
@@ -400,6 +443,7 @@ def _maximal_cliques(session, *, max_patterns=None, max_patterns_per_root=None):
 @workload(
     "subgraph_iso",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="VF2 subgraph isomorphism (Algorithm 7)",
 )
 def _subgraph_iso(
@@ -426,6 +470,7 @@ def _subgraph_iso(
 @workload(
     "fsm",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Apriori frequent subgraph mining (Algorithm 8)",
 )
 def _fsm(session, *, sigma=0.5, max_size=3, max_matches_per_pattern=2_000):
@@ -447,6 +492,7 @@ def _fsm(session, *, sigma=0.5, max_size=3, max_matches_per_pattern=2_000):
 @workload(
     "similarity",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Vertex-pair neighborhood similarity (Algorithm 9)",
 )
 def _similarity(session, *, u, v, measure="jaccard"):
@@ -481,6 +527,7 @@ def _similarity_pairs(session, *, pairs, measure="jaccard", batch=None, view=Non
 @workload(
     "jarvis_patrick",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Jarvis-Patrick similarity clustering (Algorithm 11)",
 )
 def _jarvis_patrick(session, *, tau=2.0, measure="common_neighbors", batch=None):
@@ -500,6 +547,7 @@ def _jarvis_patrick(session, *, tau=2.0, measure="common_neighbors", batch=None)
 @workload(
     "link_prediction",
     requires="none",
+    effect_writes=("sets:scratch",),
     description="Link prediction + accuracy test (Algorithm 10)",
 )
 def _link_prediction(
@@ -582,6 +630,7 @@ def _link_prediction(
 @workload(
     "approx_degeneracy",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Streaming approximate degeneracy order (Algorithm 6)",
 )
 def _approx_degeneracy(session, *, eps=0.5):
@@ -593,6 +642,7 @@ def _approx_degeneracy(session, *, eps=0.5):
 @workload(
     "bfs",
     requires="undirected",
+    effect_writes=("sets:scratch",),
     description="Set-centric direction-optimizing BFS (Algorithm 12)",
 )
 def _bfs(session, *, root=0, direction="auto"):

@@ -314,7 +314,7 @@ def intersect(a: VertexSet, b: VertexSet) -> VertexSet:
         return intersect_sa_db(a, b)
     if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
         return intersect_sa_db(b, a)
-    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     return intersect_merge(a, b)
 
 
@@ -325,7 +325,7 @@ def union(a: VertexSet, b: VertexSet) -> VertexSet:
         return union_sa_db(a, b)
     if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
         return union_sa_db(b, a)
-    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     return union_merge(a, b)
 
 
@@ -336,5 +336,5 @@ def difference(a: VertexSet, b: VertexSet) -> VertexSet:
         return difference_sa_db(a, b)
     if isinstance(a, DenseBitvector) and isinstance(b, SparseArray):
         return difference_db_sa(a, b)
-    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)
+    assert isinstance(a, SparseArray) and isinstance(b, SparseArray)  # repolint: disable=library-assert -- kernel-internal dispatch invariant
     return difference_merge(a, b)

@@ -1,0 +1,128 @@
+"""Schedule certifier what-if: modeled lane-speedup curve of the
+robustness-soak batch under a certified parallel schedule.
+
+Shard-parallel execution does not exist in the engine yet — this bench
+is the *proof it is worth building*.  The schedule certifier lowers
+the certified 8-tenant soak batch (8 tenants x 5 workloads = 40 plans)
+into its dependency DAG, a race-detector replay executes the batch in
+the certified order (measuring each node's attributed engine cycles
+and proving the interleaving free of happens-before races), and the
+what-if model then re-times the same DAG at 1/2/4/8 lanes: each lane
+runs its assigned nodes back to back, every cross-lane dependency edge
+charges a host merge, and the batch finishes at the slowest lane.
+
+Acceptance floors (enforced here and in CI): the replay reports zero
+races and every output is bit-identical to a fresh sequential session;
+the modeled parallel cycles never exceed the sequential sum at any
+lane width; and the lanes=4 speedup clears 1.5x (the whole-plan dedup
+chain across tenants bounds the critical path, so wider batches
+parallelize across tenants' distinct workloads).  Modeled cycles are
+deterministic, so CI asserts the full floors.
+
+Env knobs: ``BENCH_WHATIF_N`` (smoke graph vertices, default 60),
+``BENCH_WHATIF_TENANTS`` (default 8), ``BENCH_WHATIF_MIN_SPEEDUP``
+(lanes=4 floor, default 1.5).
+"""
+
+import os
+
+from repro.analysis.static.racecheck import replay_certified
+from repro.analysis.static.schedule import certify_schedule
+from repro.analysis.static.smoke import (
+    SOAK_WORKLOADS,
+    make_session,
+    soak_batch,
+)
+from repro.session.cache import fingerprint
+
+from common import emit, emit_json
+
+N = int(os.environ.get("BENCH_WHATIF_N", "60"))
+TENANTS = int(os.environ.get("BENCH_WHATIF_TENANTS", "8"))
+MIN_SPEEDUP = float(os.environ.get("BENCH_WHATIF_MIN_SPEEDUP", "1.5"))
+LANE_WIDTHS = (1, 2, 4, 8)
+
+
+def _measure():
+    # Certify + replay the soak batch: measures per-node costs and
+    # proves the certified interleaving race-free.
+    session = make_session(n=N)
+    plans = soak_batch(session, tenants=TENANTS)
+    schedule = certify_schedule(plans, lanes=4)
+    results, races, _log = replay_certified(session, plans, schedule, lanes=4)
+    assert races == [], [race.summary() for race in races]
+    assert schedule.measured
+
+    # Bit-identity oracle: the same workloads on a fresh session, run
+    # sequentially through the eager path.
+    ref_session = make_session(n=N)
+    reference = {
+        name: fingerprint(ref_session.run(name, **dict(params)).output)
+        for name, params in SOAK_WORKLOADS
+    }
+    for plan, result in zip(plans, results):
+        assert result.ok and result.scheduled, plan.name
+        assert fingerprint(result.output) == reference[plan.name], plan.name
+
+    curve = {lanes: schedule.what_if(lanes) for lanes in LANE_WIDTHS}
+    for model in curve.values():
+        assert model.measured
+        assert model.parallel_cycles <= model.sequential_cycles + 1e-9
+    return schedule, curve
+
+
+def _render(schedule, curve):
+    print("== Schedule what-if: modeled lane speedup of the soak batch ==")
+    print(
+        f"robustness soak: {TENANTS} tenants x {len(SOAK_WORKLOADS)} "
+        f"workloads = {len(schedule.nodes)} DAG nodes, "
+        f"{len(schedule.edges)} dependency edges "
+        f"(G(n={N}) smoke graph; replay race-free, outputs bit-identical "
+        "to sequential)"
+    )
+    print(
+        f"{'lanes':>6}{'parallel Mcyc':>15}{'sequential Mcyc':>17}"
+        f"{'merge Mcyc':>12}{'x-edges':>9}{'speedup':>9}"
+    )
+    for lanes, model in sorted(curve.items()):
+        print(
+            f"{lanes:>6}{model.parallel_cycles / 1e6:>15.4f}"
+            f"{model.sequential_cycles / 1e6:>17.4f}"
+            f"{model.merge_cycles / 1e6:>12.4f}"
+            f"{model.cross_edges:>9}{model.speedup:>9.3f}"
+        )
+    print(
+        f"\nlanes=4 modeled speedup: {curve[4].speedup:.3f}x "
+        f"(floor {MIN_SPEEDUP:.1f}x); parallel cycles <= sequential at "
+        "every lane width"
+    )
+
+
+def test_schedule_whatif_speedup(benchmark):
+    schedule, curve = _measure()
+    emit("schedule_whatif", lambda: _render(schedule, curve))
+    emit_json(
+        "schedule_whatif",
+        {
+            "nodes": len(schedule.nodes),
+            "edges": len(schedule.edges),
+            "tenants": TENANTS,
+            "lanes_4_speedup": curve[4].speedup,
+            "curve": {
+                str(lanes): model.as_dict()
+                for lanes, model in sorted(curve.items())
+            },
+        },
+        floors={"min_speedup_lanes4": MIN_SPEEDUP},
+    )
+    assert curve[4].speedup >= MIN_SPEEDUP
+
+    # The hot loop a scheduler admission gate would pay per batch:
+    # certification alone (pure host-side static analysis).
+    session = make_session(n=N)
+    plans = soak_batch(session, tenants=TENANTS)
+    benchmark(lambda: certify_schedule(plans, lanes=4))
+
+
+if __name__ == "__main__":
+    _render(*_measure())

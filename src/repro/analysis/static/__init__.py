@@ -10,16 +10,28 @@ Two layers:
   with :func:`check_plan_dynamic` validating the burst-generator
   contract by instrumented execution
   (:mod:`~repro.analysis.static.dynamic`);
+* the **schedule certifier and happens-before race detector** —
+  :func:`certify_schedule` lowers a certified batch into an explicit
+  dependency DAG, assigns legal lanes and models the parallel what-if
+  speedup (:mod:`~repro.analysis.static.schedule`);
+  :func:`replay_certified` executes any admissible interleaving with
+  an access log armed and :func:`find_races` proves the replay free of
+  read/write pairs unordered by the DAG
+  (:mod:`~repro.analysis.static.racecheck`);
 * the **project contract linter** — an AST rule engine
   (:mod:`~repro.analysis.static.lint`) enforcing the repository's own
   coding contracts (seeded RNG, narrow excepts, no library asserts,
-  structured error details, guarded observability).
+  structured error details, guarded observability, and shared-state
+  mutation confined to owner modules).
 
-Run both from the command line::
+Run everything from the command line::
 
     PYTHONPATH=src python -m repro.analysis.static          # lint + verify
     PYTHONPATH=src python -m repro.analysis.static --lint
     PYTHONPATH=src python -m repro.analysis.static --verify
+    PYTHONPATH=src python -m repro.analysis.static --schedule --lanes 4
+    PYTHONPATH=src python -m repro.analysis.static --racecheck
+    PYTHONPATH=src python -m repro.analysis.static --json report.json
     PYTHONPATH=src python -m repro.analysis.static --mypy   # if installed
 """
 
@@ -43,6 +55,23 @@ from repro.analysis.static.lint import (
     lint_rule,
     lint_source,
 )
+from repro.analysis.static.racecheck import (
+    Access,
+    AccessLog,
+    Race,
+    find_races,
+    instrument_session,
+    raise_on_races,
+    replay_certified,
+)
+from repro.analysis.static.schedule import (
+    MERGE_CYCLES_PER_EDGE,
+    CertifiedSchedule,
+    ScheduleEdge,
+    ScheduleModel,
+    ScheduleNode,
+    certify_schedule,
+)
 from repro.analysis.static.verifier import (
     HAZARD_KINDS,
     AnalysisReport,
@@ -52,7 +81,10 @@ from repro.analysis.static.verifier import (
 )
 
 __all__ = [
+    "Access",
+    "AccessLog",
     "AnalysisReport",
+    "CertifiedSchedule",
     "ContractViolation",
     "DEFAULT_RULES",
     "DynamicReport",
@@ -61,14 +93,24 @@ __all__ = [
     "Hazard",
     "LintRule",
     "LintViolation",
+    "MERGE_CYCLES_PER_EDGE",
     "PlanVerifier",
+    "Race",
+    "ScheduleEdge",
+    "ScheduleModel",
+    "ScheduleNode",
     "analyze_batch",
     "available_lint_rules",
+    "certify_schedule",
     "check_plan_dynamic",
+    "find_races",
+    "instrument_session",
     "lint_paths",
     "lint_rule",
     "lint_source",
     "normalize_tokens",
+    "raise_on_races",
+    "replay_certified",
     "stage_effects",
     "unit_effects",
 ]

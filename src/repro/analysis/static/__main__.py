@@ -1,9 +1,15 @@
 """CLI front end: ``python -m repro.analysis.static``.
 
 With no flags, runs the linter and the verifier smoke (the CI
-``static-analysis`` job's default).  ``--mypy`` additionally type-checks
-the strict packages when mypy is importable — the dev container does
-not ship it, so the flag degrades to a skip message instead of an
+``static-analysis`` job's default).  ``--schedule`` certifies a
+parallel schedule for both smoke batches and prints the modeled
+what-if curve; ``--racecheck`` replays them under the happens-before
+race detector (non-zero exit on any race).  ``--json PATH`` writes a
+machine-readable report of every check that ran — the CI
+static-analysis job uploads it as an artifact next to the
+``BENCH_*.json`` baselines.  ``--mypy`` additionally type-checks the
+strict packages when mypy is importable — the dev container does not
+ship it, so the flag degrades to a skip message instead of an
 ImportError.  Exit status is non-zero iff any requested check failed.
 """
 
@@ -11,9 +17,11 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import subprocess
 import sys
 from pathlib import Path
+from typing import Any
 
 
 def _repo_root() -> Path:
@@ -21,7 +29,7 @@ def _repo_root() -> Path:
     return Path(__file__).resolve().parents[4]
 
 
-def _run_lint(paths: list[str]) -> int:
+def _run_lint(paths: list[str], report: dict[str, Any]) -> int:
     from repro.analysis.static.lint import lint_paths
 
     root = _repo_root()
@@ -33,19 +41,93 @@ def _run_lint(paths: list[str]) -> int:
         f"repolint: {len(violations)} violation(s) in "
         f"{', '.join(targets)}"
     )
+    report["lint"] = {
+        "targets": targets,
+        "violations": [v.as_dict() for v in violations],
+        "count": len(violations),
+    }
     return 1 if violations else 0
 
 
-def _run_verify(n: int) -> int:
+def _run_verify(n: int, report: dict[str, Any]) -> int:
     from repro.analysis.static.smoke import run_smoke
 
     failed = 0
-    for label, report in run_smoke(n=n):
-        print(f"verify[{label}]: {report.summary()}")
-        if not report.certified:
+    section: dict[str, Any] = {}
+    for label, analysis in run_smoke(n=n):
+        print(f"verify[{label}]: {analysis.summary()}")
+        section[label] = analysis.as_dict()
+        if not analysis.certified:
             failed += 1
-            for hazard in report.hazards:
+            for hazard in analysis.hazards:
                 print(f"  - [{hazard.kind}] {hazard.message}")
+    report["verify"] = section
+    return 1 if failed else 0
+
+
+def _run_schedule(n: int, lanes: int, report: dict[str, Any]) -> int:
+    from repro.analysis.static.smoke import schedule_smoke
+    from repro.errors import SisaError
+
+    section: dict[str, Any] = {}
+    try:
+        schedules = schedule_smoke(n=n, lanes=lanes)
+    except SisaError as exc:
+        print(f"schedule: certification failed: {exc}")
+        report["schedule"] = {"error": str(exc)}
+        return 1
+    for label, schedule in schedules:
+        model = schedule.what_if()
+        if model.measured:
+            summary = f"modeled speedup {model.speedup:.3f}x (measured)"
+        else:
+            # Before a replay costs the nodes, the merge charge dwarfs
+            # the unit costs; report the structural parallelism (node
+            # count over critical-path length) instead of a "speedup".
+            structural = (
+                model.sequential_cycles / model.makespan
+                if model.makespan > 0.0
+                else 1.0
+            )
+            summary = (
+                f"structural parallelism {structural:.2f}x over "
+                f"{model.cross_edges} cross-lane edge(s) (unit costs; "
+                "run --racecheck to measure)"
+            )
+        print(
+            f"schedule[{label}]: {len(schedule.nodes)} nodes, "
+            f"{len(schedule.edges)} edges, lanes={lanes}, {summary}"
+        )
+        section[label] = {
+            "nodes": len(schedule.nodes),
+            "edges": len(schedule.edges),
+            "model": model.as_dict(),
+        }
+    report["schedule"] = section
+    return 0
+
+
+def _run_racecheck(n: int, lanes: int, report: dict[str, Any]) -> int:
+    from repro.analysis.static.smoke import racecheck_smoke
+
+    failed = 0
+    section: dict[str, Any] = {}
+    for label, schedule, races in racecheck_smoke(n=n, lanes=lanes):
+        model = schedule.what_if()
+        print(
+            f"racecheck[{label}]: {len(races)} race(s) in "
+            f"{len(schedule.nodes)}-node replay at lanes={lanes}, "
+            f"measured speedup {model.speedup:.3f}x"
+        )
+        for race in races:
+            print(f"  - {race.summary()}")
+        section[label] = {
+            "races": [race.as_dict() for race in races],
+            "model": model.as_dict(),
+        }
+        if races:
+            failed += 1
+    report["racecheck"] = section
     return 1 if failed else 0
 
 
@@ -84,6 +166,30 @@ def main(argv: list[str] | None = None) -> int:
         help="run the plan-verifier smoke (full workload grid + soak batch)",
     )
     parser.add_argument(
+        "--schedule",
+        action="store_true",
+        help="certify a parallel schedule for both smoke batches and "
+        "print the modeled what-if speedup",
+    )
+    parser.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="replay both smoke batches under their certified schedules "
+        "with the happens-before race detector armed",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=4,
+        metavar="N",
+        help="lane width for --schedule / --racecheck (default 4)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write a machine-readable report of every check that ran",
+    )
+    parser.add_argument(
         "--mypy",
         action="store_true",
         help="type-check the strict packages (skipped if mypy is absent)",
@@ -101,15 +207,33 @@ def main(argv: list[str] | None = None) -> int:
         help="files/directories to lint (default: src/repro)",
     )
     args = parser.parse_args(argv)
-    run_lint = args.lint or not (args.lint or args.verify or args.mypy)
-    run_verify = args.verify or not (args.lint or args.verify or args.mypy)
+    any_flag = (
+        args.lint
+        or args.verify
+        or args.schedule
+        or args.racecheck
+        or args.mypy
+    )
+    run_lint = args.lint or not any_flag
+    run_verify = args.verify or not any_flag
     status = 0
+    report: dict[str, Any] = {}
     if run_lint:
-        status |= _run_lint(list(args.paths))
+        status |= _run_lint(list(args.paths), report)
     if run_verify:
-        status |= _run_verify(args.graph_size)
+        status |= _run_verify(args.graph_size, report)
+    if args.schedule:
+        status |= _run_schedule(args.graph_size, args.lanes, report)
+    if args.racecheck:
+        status |= _run_racecheck(args.graph_size, args.lanes, report)
     if args.mypy:
         status |= _run_mypy()
+    if args.json:
+        report["status"] = status
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+        print(f"json report -> {path}")
     return status
 
 

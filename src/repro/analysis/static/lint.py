@@ -416,6 +416,145 @@ def _unguarded_obs(module: SourceModule):
         )
 
 
+#: Mutating container methods — calling one of these on a watched
+#: attribute is a write just like assigning into it.
+_MUTATING_METHODS = frozenset(
+    (
+        "clear",
+        "pop",
+        "popitem",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "fill",
+        "sort",
+    )
+)
+
+
+def _watched_write_target(node: ast.AST, watched) -> str | None:
+    """The watched attribute a write target touches: ``x.<attr> = …``
+    or ``x.<attr>[k] = …`` / ``del x.<attr>[k]``."""
+    if isinstance(node, ast.Attribute) and node.attr in watched:
+        return node.attr
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr in watched
+    ):
+        return node.value.attr
+    return None
+
+
+def _shared_mutations(module: SourceModule, watched: dict):
+    """Yield ``(line, attr)`` for every mutation of a watched internal
+    attribute outside its owner module(s).  ``watched`` maps attribute
+    name → tuple of owner path suffixes where mutation is legal."""
+    path = module.path.replace("\\", "/")
+
+    def foreign(attr: str) -> bool:
+        return not any(path.endswith(suffix) for suffix in watched[attr])
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                attr = _watched_write_target(target, watched)
+                if attr is not None and foreign(attr):
+                    yield node.lineno, attr
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _watched_write_target(target, watched)
+                if attr is not None and foreign(attr):
+                    yield node.lineno, attr
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in watched
+                and foreign(func.value.attr)
+            ):
+                yield node.lineno, func.value.attr
+
+
+#: Shared-structure internals and the modules allowed to mutate them.
+#: The race detector's event hooks live inside these owner modules, so
+#: confining mutation there is what keeps the dynamic access log
+#: complete (an out-of-module write would bypass the hooks entirely).
+_SHARED_INTERNALS = {
+    # ResultCache entry table (and the SMB LRU model, which reuses the
+    # attribute name for its own entry table).
+    "_entries": ("session/cache.py", "hw/cache.py"),
+    # The (possibly pool-shared) SCU decision memo.
+    "_decision_memo": ("isa/scu.py",),
+}
+
+
+@lint_rule("shared-structure-write")
+def _shared_structure_write(module: SourceModule):
+    """Direct mutation of shared-structure internals (cache entry
+    table, SCU decision memo) outside the owning module bypasses the
+    guarded APIs — and with them the race detector's access hooks."""
+    for line, attr in _shared_mutations(module, _SHARED_INTERNALS):
+        owners = ", ".join(_SHARED_INTERNALS[attr])
+        yield (
+            line,
+            f"direct mutation of shared-structure internal {attr!r} "
+            f"outside its owner module ({owners}); go through the guarded "
+            "API so the race detector's access hooks see the write",
+        )
+
+
+#: Shared session/pool serving state and its owner modules.  The
+#: racecheck module is a sanctioned co-owner of the tenant ledgers:
+#: its LedgerShim install/restore is the instrumentation point itself.
+#: (observability/hub.py has an unrelated counter named
+#: ``_tenant_cycles``; it owns that attribute on its own objects.)
+_SESSION_STATE = {
+    "_tenant_cycles": (
+        "session/pool.py",
+        "analysis/static/racecheck.py",
+        "observability/hub.py",
+    ),
+    "_tenant_retry_cycles": (
+        "session/pool.py",
+        "analysis/static/racecheck.py",
+    ),
+    "_tenant_runs": ("session/pool.py", "analysis/static/racecheck.py"),
+    "_results": ("session/session.py",),
+    "_orientation_maintainer": ("session/session.py",),
+    "rank": ("streaming/orientation.py",),
+    "out_degree": ("streaming/orientation.py",),
+}
+
+
+@lint_rule("session-state-mutation")
+def _session_state_mutation(module: SourceModule):
+    """Bare mutation of shared session/pool serving state (tenant
+    ledgers, the result-cache binding, the orientation maintainer and
+    its rank/out-degree arrays) outside the owning module: a future
+    concurrent scheduler cannot order writes it cannot see declared."""
+    for line, attr in _shared_mutations(module, _SESSION_STATE):
+        owners = ", ".join(_SESSION_STATE[attr])
+        yield (
+            line,
+            f"mutation of shared session state {attr!r} outside its owner "
+            f"module ({owners}); route it through the owner's API (or its "
+            "declared effect tokens) so schedules can order it",
+        )
+
+
 #: The stock rule set, in a stable order.
 DEFAULT_RULES = (
     "unseeded-rng",
@@ -424,4 +563,6 @@ DEFAULT_RULES = (
     "error-details",
     "mutable-default-arg",
     "unguarded-obs",
+    "shared-structure-write",
+    "session-state-mutation",
 )

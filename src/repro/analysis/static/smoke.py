@@ -95,6 +95,53 @@ def soak_batch(session: SisaSession, *, tenants: int = 8) -> list:
     return plans
 
 
+def smoke_batches(session: SisaSession, n: int = 60):
+    """The two smoke batches as ``(label, plans)`` pairs — the shape
+    every smoke entry point (verify, schedule, racecheck) iterates."""
+    return [
+        ("full-grid", compile_batch(session, full_grid(n))),
+        ("robustness-soak", soak_batch(session)),
+    ]
+
+
+def schedule_smoke(*, n: int = 60, lanes: int = 4):
+    """Certify a parallel schedule for both smoke batches; returns
+    ``(label, schedule)`` pairs (certification raises on hazards)."""
+    from repro.analysis.static.schedule import certify_schedule
+
+    session = make_session(n=n)
+    return [
+        (label, certify_schedule(plans, lanes=lanes))
+        for label, plans in smoke_batches(session, n)
+    ]
+
+
+def racecheck_smoke(*, n: int = 60, lanes: int = 4):
+    """Replay both smoke batches under their certified schedules with
+    the happens-before race detector armed; returns
+    ``(label, schedule, races)`` triples.  The schedules come back
+    cost-measured, so ``schedule.what_if()`` reports the measured
+    speedup curve.  Races are returned, not raised — callers decide."""
+    from repro.analysis.static.racecheck import replay_certified
+    from repro.analysis.static.schedule import certify_schedule
+
+    out = []
+    for label, build in (
+        ("full-grid", lambda s: compile_batch(s, full_grid(n))),
+        ("robustness-soak", soak_batch),
+    ):
+        # A fresh session per batch: the replay executes for real, and
+        # a warm result cache would collapse the cost measurements.
+        session = make_session(n=n)
+        plans = build(session)
+        schedule = certify_schedule(plans, lanes=lanes)
+        _results, races, _log = replay_certified(
+            session, plans, schedule, lanes=lanes
+        )
+        out.append((label, schedule, races))
+    return out
+
+
 def run_smoke(*, n: int = 60, verbose: bool = False) -> list[tuple[str, AnalysisReport]]:
     """Certify the full workload grid and the soak batch; returns
     ``(label, report)`` pairs (all must be certified)."""

@@ -76,6 +76,17 @@ class HazardError(SisaError):
     :class:`~repro.analysis.static.verifier.AnalysisReport`."""
 
 
+class RaceError(SisaError):
+    """A happens-before violation found by the dynamic race detector
+    (:mod:`repro.analysis.static.racecheck`): two accesses to one
+    shared structure — result cache, SCU decision memo, orientation
+    maintainer, tenant ledger — from schedule nodes the dependency DAG
+    leaves unordered, at least one a non-idempotent write.  ``details``
+    carries the structured race list (token, accessors, stages, lanes
+    and vector clocks), the same shape the static verifier gives
+    hazards."""
+
+
 class InjectedFault(SisaError):
     """A fault deliberately raised by the serving
     :class:`~repro.serving.faults.FaultInjector` (soak/chaos testing).

@@ -164,6 +164,12 @@ class Scu:
         self._decision_memo: dict[tuple, tuple] = (
             {} if decision_memo is None else decision_memo
         )
+        # Optional memo access hook ``(op, key) -> None`` — the race
+        # detector's shim.  Every read/fill of the (possibly pool-
+        # shared) decision table reports through it; repolint's
+        # shared-structure-write rule keeps direct ``_decision_memo``
+        # mutation confined to this module so the hook stays complete.
+        self.memo_event = None
 
     _MEMO_LIMIT = 1 << 16
 
@@ -277,6 +283,8 @@ class Scu:
                 bigger.representation is Representation.SPARSE_UNSORTED,
             )
         hit = self._decision_memo.get(key)
+        if self.memo_event is not None:
+            self.memo_event("read", key)
         if hit is None:
             if a_dense and b_dense:
                 d = self._dispatch_dense_pair(op, a, count_only=count_only)
@@ -292,6 +300,8 @@ class Scu:
                 self._decision_memo[key] = (
                     d.opcode, d.backend, d.variant, d.cost, picks,
                 )
+                if self.memo_event is not None:
+                    self.memo_event("write-idempotent", key)
             return d.opcode, d.backend, d.variant, d.cost
         opcode, backend, variant, cost, picks = hit
         if backend == "pum":
@@ -667,6 +677,7 @@ class Scu:
         stats = self.stats
         by_opcode = stats.by_opcode
         memo = self._decision_memo
+        memo_event = self.memo_event
         host = self.host_fallback
         disp_c = hw.scu_dispatch_cycles
         hit_c = hw.sm_hit_cycles
@@ -687,6 +698,8 @@ class Scu:
             dense = meta.is_dense
             key = ("e", insert, dense, 0 if dense else card)
             hit = memo.get(key)
+            if memo_event is not None:
+                memo_event("read", key)
             if hit is None:
                 if dense:
                     opcode = Opcode.INSERT_DB if insert else Opcode.REMOVE_DB
@@ -704,6 +717,8 @@ class Scu:
                     variant = "shift"
                 if len(memo) < self._MEMO_LIMIT:
                     memo[key] = (opcode, backend, variant, cost, 0)
+                    if memo_event is not None:
+                        memo_event("write-idempotent", key)
             else:
                 opcode, backend, variant, cost, _ = hit
             if host:

@@ -184,6 +184,13 @@ class ResultCache:
         # Optional observability hub; mirrors stats events into labeled
         # counters (by workload = key[0]).  Observation-only.
         self.obs = None
+        # Optional access-event hook ``(op, key) -> None`` with op in
+        # {"read", "write-idempotent", "write"}: the race detector's
+        # shim (repro.analysis.static.racecheck).  Every mutation of
+        # cache state must report through it — repolint's
+        # shared-structure-write rule forbids touching ``_entries``
+        # outside this module precisely so this hook stays complete.
+        self._event = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -204,6 +211,8 @@ class ResultCache:
         callers cannot poison the entry.  The entry's content digest is
         re-verified first: a corrupted entry is dropped and counted,
         and the caller recomputes — degradation, not a wrong answer."""
+        if self._event is not None:
+            self._event("read", key)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -226,12 +235,20 @@ class ResultCache:
         return (isolate_output(output),)
 
     def put(self, key: tuple, output: Any) -> None:
+        # Installing a deterministic output under its content key is
+        # idempotent — any interleaving installs the same bytes.
+        if self._event is not None:
+            self._event("write-idempotent", key)
         stored = isolate_output(output)
         self._entries[key] = (stored, fingerprint(stored))
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            # Capacity eviction is NOT idempotent: another node's get
+            # observes presence or absence depending on order.
+            if self._event is not None:
+                self._event("write", evicted)
             if self.obs is not None:
                 self.obs.cache_event("eviction", evicted[0])
 
@@ -247,6 +264,8 @@ class ResultCache:
         if not self._entries:
             return False
         key = next(reversed(self._entries))
+        if self._event is not None:
+            self._event("write", key)
         output, digest = self._entries[key]
         self._entries[key] = (_tamper(output), digest)
         return True
@@ -259,6 +278,8 @@ class ResultCache:
             return False
         evicted, _ = self._entries.popitem(last=False)
         self.stats.evictions += 1
+        if self._event is not None:
+            self._event("write", evicted)
         if self.obs is not None:
             self.obs.cache_event("eviction", evicted[0])
         return True
@@ -266,6 +287,11 @@ class ResultCache:
     def invalidate(self, workload: str | None = None) -> int:
         """Drop every entry (or only one workload's entries).  Returns
         the number of entries dropped."""
+        if self._event is not None:
+            # Wildcard write: conflicts with every key of the cache
+            # (per-workload invalidation still drops unknown-param
+            # entries, so workload granularity would under-report).
+            self._event("write", (workload,) if workload is not None else None)
         if workload is None:
             dropped = len(self._entries)
             self._entries.clear()

@@ -325,9 +325,15 @@ class PlanExecutor:
         fuse_width: int = 8,
         fault_injector=None,
         verify: bool = False,
+        schedule=None,
+        access_log=None,
     ):
         if fuse_width < 1:
             raise ConfigError("fuse_width must be positive")
+        if access_log is not None and schedule is None:
+            raise ConfigError(
+                "an access_log needs a schedule to attribute accesses to"
+            )
         self.session = session
         self.fuse = fuse
         self.fuse_width = fuse_width
@@ -336,6 +342,16 @@ class PlanExecutor:
         # failure; the report is kept on ``last_analysis`` either way.
         self.verify = verify
         self.last_analysis = None
+        # A CertifiedSchedule (repro.analysis.static.schedule): execute
+        # the batch in the schedule's explicit topological node order —
+        # the replay mode the certifier's bit-identity guarantee is
+        # proven against.  Overrides fuse (node isolation is the point;
+        # whole-plan and stage-key dedup still apply, driven by the
+        # schedule's dedup edges).  With an AccessLog
+        # (repro.analysis.static.racecheck) every node's execution is
+        # bracketed so shared-structure hooks attribute to it.
+        self.schedule = schedule
+        self.access_log = access_log
         # A serving FaultInjector (soak testing): its on_stage hook may
         # raise InjectedFault at any stage boundary.
         self.fault_injector = fault_injector
@@ -395,6 +411,13 @@ class PlanExecutor:
                     f"{report.summary()}",
                     details=report.as_dict(),
                 )
+        if self.schedule is not None:
+            if not self.schedule.matches(plans):
+                raise ConfigError(
+                    "the certified schedule was built for a different plan "
+                    "batch (workloads or stage lists differ); re-certify"
+                )
+            return self._execute_scheduled(plans)
         if not self.fuse:
             return [self._execute_sequential(plan) for plan in plans]
         return self._execute_fused(plans)
@@ -668,6 +691,160 @@ class PlanExecutor:
             results.append(result)
             session.run_count += 1
         return results
+
+    # ------------------------------------------------------------------
+    # Scheduled (certified-replay) mode
+    # ------------------------------------------------------------------
+
+    def _execute_scheduled(self, plans: list[WorkloadPlan]) -> list[RunResult]:
+        """Execute the batch in the certified schedule's explicit node
+        order.
+
+        Each ``(plan, stage)`` node runs as one attributed slice, in
+        exactly the order ``schedule.order`` dictates — the dependency
+        DAG's dedup edges guarantee every cache-key owner publishes
+        before a follower starts, so any topological order is
+        output-identical (the certifier's core claim, property-tested).
+        Bursts execute unfused (node isolation is the point of a
+        replay); whole-plan and stage-key dedup still apply.  Each
+        node's attributed tenant-work delta is recorded back into the
+        schedule (:meth:`CertifiedSchedule.record_cost`), feeding the
+        measured what-if model; with an access log, execution is
+        bracketed per node so shared-structure hooks attribute to it.
+        """
+        from repro.isa.scu import DispatchStats
+
+        schedule = self.schedule
+        log = self.access_log
+        session = self.session
+        engine = session.ctx.engine
+        obs = getattr(session, "obs", None)
+        rec = obs.spans if obs is not None else None
+        self._span_parent = rec.current if rec is not None else None
+        runs = []
+        for i, plan in enumerate(plans):
+            run = _PlanRun(plan, ("plan", i, plan.name))
+            run.stats = DispatchStats()
+            runs.append(run)
+        try:
+            for node_id in schedule.order:
+                node = schedule.nodes[node_id]
+                run = runs[node.plan_index]
+                stage = run.plan.stages[node.stage_index]
+                w0 = engine.tenant_work_cycles(run.tag)
+                if log is not None:
+                    log.refresh(session)
+                    log.declared(node_id, stage)
+                    with log.at(node_id, stage.label):
+                        self._run_node(run, stage)
+                else:
+                    self._run_node(run, stage)
+                schedule.record_cost(
+                    node_id, engine.tenant_work_cycles(run.tag) - w0
+                )
+        except BaseException:
+            for run in runs:
+                engine.drop_tenant(run.tag)
+            raise
+        results = []
+        for run in runs:
+            report = engine.tenant_report(run.tag)
+            engine.drop_tenant(run.tag)
+            result = RunResult(
+                workload=run.plan.name,
+                output=run.output,
+                report=report,
+                stats=run.stats,
+                registrations=run.registrations,
+                config=session.config,
+                params=dict(run.plan.params),
+                warm=run.warm,
+                session=session,
+                cached=run.cached,
+                scheduled=True,
+            )
+            if rec is not None and run.span is not None:
+                if run.span.t1 is None:
+                    rec.end(run.span, cycles=report.work_cycles)
+                result.spans = run.span
+                obs.plan_wall(
+                    run.plan.tenant or "default",
+                    run.plan.name,
+                    run.span.wall_seconds,
+                )
+                obs.plan_done("cached" if run.cached else "ok")
+            results.append(result)
+            session.run_count += 1
+        return results
+
+    def _run_node(self, run: _PlanRun, stage: PlanStage) -> None:
+        """Execute one schedule node (one stage of one plan)."""
+        if not run.started:
+            if not self._start(run):  # pragma: no cover - dedup edges
+                raise SisaError(
+                    "certified schedule ordered a follower before its "
+                    "dedup owner published; the dependency DAG is wrong"
+                )
+        if run.finished:
+            # Whole-plan cache hit at _start: every node of this plan
+            # is a zero-cost skip.
+            return
+        obs = getattr(self.session, "obs", None)
+        self._inject(run.plan, stage.label)
+        if obs is not None:
+            run.stage_span = obs.spans.start_detached(
+                f"stage:{stage.label}", run.span
+            )
+            run.stage_w0 = self.session.ctx.engine.tenant_work_cycles(run.tag)
+        try:
+            if stage.kind == "call":
+                with self._slice(run):
+                    run.value = stage.run(self.session, run.state)
+            else:
+                self._run_burst_node(run, stage)
+        finally:
+            if obs is not None and run.stage_span is not None:
+                obs.spans.end(
+                    run.stage_span,
+                    cycles=self.session.ctx.engine.tenant_work_cycles(run.tag)
+                    - run.stage_w0,
+                )
+                run.stage_span = None
+        run.stage_idx += 1
+        if run.stage_idx >= len(run.plan.stages):
+            self._finish(run)
+
+    def _run_burst_node(self, run: _PlanRun, stage: PlanStage) -> None:
+        """One burst stage, unfused, with stage-key dedup: a follower
+        whose key the owner already published seeds instead of
+        executing (the schedule's dedup edges order the owner first)."""
+        session = self.session
+        key = self._stage_key(stage, run.plan)
+        if key is not None:
+            found, value = self._lookup(key)
+            if found:
+                stage.seed(run.state, value)
+                run.value = stage.result(run.state)
+                obs = getattr(session, "obs", None)
+                if obs is not None:
+                    obs.dedup(run.plan.name)
+                return
+            self._owners[key] = run
+        with self._attribute(run):
+            gen = stage.units(session, run.state)
+        while True:
+            with self._attribute(run):
+                unit = next(gen, None)
+            if unit is None:
+                break
+            with self._slice(run):
+                counts = getattr(session.ctx, f"{unit.kind}_count_batch")(
+                    unit.a, unit.bs
+                )
+                unit.sink(counts)
+        run.value = stage.result(run.state)
+        if key is not None:
+            self._publish(key, run.value)
 
     # -- key lookup ----------------------------------------------------
 

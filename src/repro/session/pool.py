@@ -168,6 +168,10 @@ class SessionPool:
         self._retries = 0
         self._drift_recompiles = 0
         self._wasted_cycles = 0.0
+        # The CertifiedSchedule each session's batch ran under in the
+        # most recent scheduled run() (session key → schedule), with
+        # measured per-node costs — what-if lane models read from here.
+        self.last_schedules: dict[Any, Any] = {}
 
     @property
     def _hardened(self) -> bool:
@@ -382,7 +386,13 @@ class SessionPool:
             self._deferred = [e for e in self._deferred if not e[2].stale]
         return stale
 
-    def run(self, *, verify: bool = False) -> list[RunResult | FailedResult]:
+    def run(
+        self,
+        *,
+        verify: bool = False,
+        lanes: int | None = None,
+        racecheck: bool = False,
+    ) -> list[RunResult | FailedResult]:
         """Execute every queued plan; results in submission order.
 
         ``verify=True`` runs the static hazard verifier
@@ -391,6 +401,24 @@ class SessionPool:
         certified hazard-free raises
         :class:`~repro.errors.HazardError` in strict mode, or fails
         the offending plans structurally in hardened mode.
+
+        ``lanes=N`` (and/or ``racecheck=True``, which defaults the
+        width to 4) takes the **scheduled** path: each session's batch
+        is lowered into a
+        :class:`~repro.analysis.static.schedule.CertifiedSchedule`
+        (implying full static verification — an uncertifiable batch
+        raises :class:`~repro.errors.HazardError`) and executed in the
+        schedule's topological order, recording measured per-node costs
+        back into the schedule (kept on :attr:`last_schedules` for
+        what-if lane modeling).  With ``racecheck=True`` the replay
+        additionally runs under the happens-before race detector
+        (:mod:`repro.analysis.static.racecheck`): the session's shared
+        structures and this pool's tenant ledgers are shimmed into an
+        access log, and any unordered conflicting access pair raises a
+        structured :class:`~repro.errors.RaceError`.  Scheduled
+        execution is strict-mode only (outputs must stay bit-identical
+        to the sequential reference; retry/fault paths would fork the
+        comparison).
 
         Per session, the batch is ordered round-robin across tenants
         (first tenant's first plan, second tenant's first plan, ...,
@@ -413,6 +441,12 @@ class SessionPool:
         :class:`~repro.session.result.FailedResult` in its slot — no
         exception escapes for a plan failure.
         """
+        scheduled = lanes is not None or racecheck
+        if scheduled and self._hardened:
+            raise ConfigError(
+                "scheduled execution (lanes/racecheck) is strict-mode "
+                "only; drop the retry policy / fault injector"
+            )
         self._promote_deferred()
         obs = self.obs
         rec = obs.spans if obs is not None else None
@@ -422,7 +456,12 @@ class SessionPool:
             else None
         )
         try:
-            if self._hardened:
+            if scheduled:
+                results = self._run_scheduled(
+                    lanes=lanes if lanes is not None else 4,
+                    racecheck=racecheck,
+                )
+            elif self._hardened:
                 results = self._run_hardened(verify=verify)
             else:
                 results = self._run_strict(verify=verify)
@@ -475,6 +514,107 @@ class SessionPool:
         except BaseException:
             # Re-queue everything that has no result yet, ahead of any
             # plans submitted by an exception handler in the meantime.
+            self._pending = [
+                e for e in pending if e[0] not in results
+            ] + self._pending
+            raise
+        self._evict()
+        return [results[idx] for idx, __, __ in pending]
+
+    def _run_scheduled(
+        self, *, lanes: int, racecheck: bool
+    ) -> list[RunResult]:
+        """Certify each session's batch into a dependency-DAG schedule
+        and execute it in topological order, optionally under the race
+        detector.  Strict drift semantics: any stale plan fails the
+        whole call before work starts."""
+        # Deferred import: analysis is outside the serving hot path.
+        from repro.analysis.static.racecheck import (
+            AccessLog,
+            find_races,
+            instrument_pool_ledgers,
+            instrument_session,
+            raise_on_races,
+        )
+        from repro.analysis.static.schedule import certify_schedule
+
+        for __, __, plan in self._pending:
+            plan.check_version()
+        pending, self._pending = self._pending, []
+        by_session: OrderedDict[Any, list] = OrderedDict()
+        for idx, key, plan in pending:
+            by_session.setdefault(key, []).append((idx, plan))
+        results: dict[int, RunResult] = {}
+        self.last_schedules = {}
+        rec = self.obs.spans if self.obs is not None else None
+        try:
+            for key, entries in by_session.items():
+                session = self._sessions[key]
+                ordered = _round_robin_by_tenant(entries)
+                plans = [plan for __, plan in ordered]
+                sspan = (
+                    rec.start(f"session:{key}", {"plans": len(ordered)})
+                    if rec is not None
+                    else None
+                )
+                try:
+                    cspan = (
+                        rec.start("schedule:certify", {"lanes": lanes})
+                        if rec is not None
+                        else None
+                    )
+                    try:
+                        schedule = certify_schedule(
+                            plans, lanes=lanes, fuse_width=self.fuse_width
+                        )
+                    finally:
+                        if rec is not None:
+                            rec.end(cspan)
+                    self.last_schedules[key] = schedule
+                    log = AccessLog() if racecheck else None
+                    rspan = (
+                        rec.start(
+                            "racecheck:replay", {"nodes": len(schedule)}
+                        )
+                        if rec is not None and racecheck
+                        else None
+                    )
+                    try:
+                        executor = PlanExecutor(
+                            session,
+                            fuse_width=self.fuse_width,
+                            schedule=schedule,
+                            access_log=log,
+                        )
+                        if racecheck:
+                            with instrument_session(session, log), \
+                                    instrument_pool_ledgers(self, log):
+                                batch = executor.execute(plans)
+                                for (idx, plan), result in zip(
+                                    ordered, batch
+                                ):
+                                    results[idx] = result
+                                    self._charge(
+                                        plan.tenant or "default", result
+                                    )
+                            raise_on_races(
+                                find_races(schedule, log),
+                                context=f"session {key!r} scheduled replay "
+                                f"(lanes={lanes})",
+                            )
+                        else:
+                            for (idx, plan), result in zip(
+                                ordered, executor.execute(plans)
+                            ):
+                                results[idx] = result
+                                self._charge(plan.tenant or "default", result)
+                    finally:
+                        if rec is not None and rspan is not None:
+                            rec.end(rspan)
+                finally:
+                    if rec is not None:
+                        rec.end(sspan)
+        except BaseException:
             self._pending = [
                 e for e in pending if e[0] not in results
             ] + self._pending

@@ -41,6 +41,10 @@ class RunResult:
     # own slice of the interleaved stream) rather than a contiguous
     # mark-to-mark region.
     fused: bool = False
+    # True when this run executed under a CertifiedSchedule's explicit
+    # topological order (repro.analysis.static.schedule); accounting is
+    # per-tenant-attributed exactly as in fused mode.
+    scheduled: bool = False
     # With observability enabled, the root Span of this run's span tree
     # (``plan:{name}`` → stages → kernels); dump it with
     # :func:`repro.observability.write_chrome_trace`.  None otherwise.

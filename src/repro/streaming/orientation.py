@@ -119,6 +119,13 @@ class IncrementalOrientation(StreamMaintainer):
         # Optional observability hub (set by the owning session);
         # mirrors maintenance events into labeled counters.
         self.obs = None
+        # Optional mutation hook ``(op) -> None`` — the race detector's
+        # shim.  Every mutation of the maintained rank/out-degree state
+        # (incremental arc updates, repairs, re-peels, desyncs) reports
+        # through it; repolint's session-state-mutation rule keeps
+        # direct ``rank``/``out_degree`` writes confined to this module
+        # so the hook stays complete.
+        self.event = None
         # Bumped on every mutation of the maintained orientation
         # (incremental updates, repairs, re-peels): consumers caching
         # derived views (e.g. the session's DiGraph export) key on it.
@@ -177,6 +184,8 @@ class IncrementalOrientation(StreamMaintainer):
         ensure_live_view(dynamic)
         if self.repeel_every_batch or len(edges) == 0:
             return
+        if self.event is not None:
+            self.event("write")
         updates, srcs = self._oriented_arcs(edges)
         flags = self.ctx.remove_batch(updates)
         np.subtract.at(self.out_degree, srcs[flags], 1)
@@ -188,6 +197,8 @@ class IncrementalOrientation(StreamMaintainer):
         ensure_live_view(dynamic)
         if self.repeel_every_batch or len(edges) == 0:
             return
+        if self.event is not None:
+            self.event("write")
         updates, srcs = self._oriented_arcs(edges)
         flags = self.ctx.insert_batch(updates)
         np.add.at(self.out_degree, srcs[flags], 1)
@@ -219,6 +230,8 @@ class IncrementalOrientation(StreamMaintainer):
         neighbor gains one, so the cascade usually dies out in a few
         steps; if it exceeds ``repair_limit`` demotions, fall back to a
         full re-peel."""
+        if self.event is not None:
+            self.event("write")
         ctx = self.ctx
         ids = self.oriented.set_ids
         out = self.out_degree
@@ -267,6 +280,8 @@ class IncrementalOrientation(StreamMaintainer):
         ``N+`` set — so avoiding re-peels is what the maintainer's
         modeled-cycle win is measured against.
         """
+        if self.event is not None:
+            self.event("write")
         ctx = self.ctx
         n = dynamic.num_vertices
         edges = dynamic.edge_array()
@@ -313,6 +328,8 @@ class IncrementalOrientation(StreamMaintainer):
         next oriented-structure access degrades to a charged
         :meth:`resync` — the serving fault injector uses this to
         exercise that path on demand."""
+        if self.event is not None:
+            self.event("write")
         self._synced_mutations = -1
         if self.obs is not None:
             self.obs.orientation_event("desync")

@@ -18,6 +18,13 @@ from repro.session import ExecutionConfig, SisaSession
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Bench names that wrote a real ``BENCH_<name>.json`` record this
+#: process — :func:`emit` backfills a stub for any bench that never
+#: calls :func:`emit_json`, so the CI dashboard's "every bench leaves a
+#: JSON record" invariant holds regardless of which helper a bench
+#: uses (and in either call order within one process).
+_JSON_EMITTED: set[str] = set()
+
 
 def session_cell(
     graph,
@@ -51,6 +58,13 @@ def emit(name: str, render) -> str:
     text = buffer.getvalue()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if name not in _JSON_EMITTED:
+        # Stub record so BENCH_<name>.json always exists; overwritten
+        # with the real metrics if the bench later calls emit_json.
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps({"bench": name, "metrics": {}}, indent=2) + "\n"
+        )
     print(text)
     return text
 
@@ -70,6 +84,7 @@ def emit_json(name: str, metrics: dict, *, floors: dict | None = None) -> Path:
         record["floors"] = floors
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, default=str) + "\n")
+    _JSON_EMITTED.add(name)
     return path
 
 

@@ -1,0 +1,68 @@
+"""Host/worker ownership fences for the sharded parallel subsystem.
+
+A shard worker process is a pure-functional intersection-count service:
+it owns exactly its shard slice of the vertex universe and must never
+touch the host's serving structures (the session result cache, the
+orientation maintainer's rank/out-degree state, tenant ledgers).  The
+sequential code base enforced that only by convention — a silent
+exclusive-session assumption.  This module makes the boundary explicit:
+
+* :func:`mark_worker` brands a freshly spawned process with its shard
+  index (called once, first thing, in the worker main);
+* :func:`assert_host_owned` is called by the guarded structures
+  themselves (``ResultCache``, ``IncrementalOrientation``) on every
+  mutation/consult path and raises a structured
+  :class:`~repro.errors.SisaError` from inside a worker;
+* the ``parallel-unsafe-access`` repolint rule enforces the same
+  boundary statically over the worker modules.
+
+On the host every check is a single ``is None`` comparison, so the
+fence costs nothing on the sequential paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SisaError
+
+#: Shard index of the current process; ``None`` on the host.  Set once
+#: per worker process by :func:`mark_worker` (spawn gives every worker a
+#: fresh interpreter, so there is nothing to reset).
+_WORKER_SHARD: int | None = None
+
+
+def mark_worker(shard: int) -> None:
+    """Brand this process as the worker owning ``shard``."""
+    global _WORKER_SHARD
+    _WORKER_SHARD = int(shard)
+
+
+def in_worker() -> bool:
+    """True inside a shard worker process."""
+    return _WORKER_SHARD is not None
+
+
+def current_shard() -> int | None:
+    """The owned shard index, or ``None`` on the host."""
+    return _WORKER_SHARD
+
+
+def assert_host_owned(structure: str, *, op: str = "") -> None:
+    """Fence guarding a host-owned serving structure.
+
+    No-op on the host; inside a worker it raises a structured error
+    naming the structure, the operation and the offending shard — the
+    bug it catches (worker code reaching into host serving state) would
+    otherwise corrupt silently, because shared-memory attach makes the
+    reach *look* local.
+    """
+    if _WORKER_SHARD is None:
+        return
+    raise SisaError(
+        f"shard worker {_WORKER_SHARD} touched host-owned structure "
+        f"{structure!r}" + (f" during {op!r}" if op else ""),
+        details={
+            "structure": structure,
+            "op": op,
+            "shard": _WORKER_SHARD,
+        },
+    )

@@ -24,6 +24,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.parallel.ownership import assert_host_owned
+
 
 @dataclass
 class CacheStats:
@@ -211,6 +213,7 @@ class ResultCache:
         callers cannot poison the entry.  The entry's content digest is
         re-verified first: a corrupted entry is dropped and counted,
         and the caller recomputes — degradation, not a wrong answer."""
+        assert_host_owned("result-cache", op="get")
         if self._event is not None:
             self._event("read", key)
         entry = self._entries.get(key)
@@ -237,6 +240,7 @@ class ResultCache:
     def put(self, key: tuple, output: Any) -> None:
         # Installing a deterministic output under its content key is
         # idempotent — any interleaving installs the same bytes.
+        assert_host_owned("result-cache", op="put")
         if self._event is not None:
             self._event("write-idempotent", key)
         stored = isolate_output(output)
